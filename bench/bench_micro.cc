@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the hot inner loops of the
+// backup paths: checksums, bitmap algebra (the Table 1 computation), block
+// map plane operations, dump record serialization, the write allocator and
+// RAID parity math.
+#include <benchmark/benchmark.h>
+
+#include "src/block/block.h"
+#include "src/dump/format.h"
+#include "src/fs/blockmap.h"
+#include "src/util/bitmap.h"
+#include "src/util/checksum.h"
+#include "src/util/random.h"
+
+namespace bkup {
+namespace {
+
+void BM_Crc32c4K(benchmark::State& state) {
+  Block block;
+  Rng rng(1);
+  rng.Fill(block.bytes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(block.bytes()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          kBlockSize);
+}
+BENCHMARK(BM_Crc32c4K);
+
+void BM_Adler32_4K(benchmark::State& state) {
+  Block block;
+  Rng rng(2);
+  rng.Fill(block.bytes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Adler32(block.bytes()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          kBlockSize);
+}
+BENCHMARK(BM_Adler32_4K);
+
+void BM_BitmapDifference(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  Bitmap a(bits), b(bits);
+  Rng rng(3);
+  for (size_t i = 0; i < bits / 3; ++i) {
+    a.Set(rng.Below(bits));
+    b.Set(rng.Below(bits));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bitmap::Difference(b, a));
+  }
+}
+BENCHMARK(BM_BitmapDifference)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BlockMapCopyPlane(benchmark::State& state) {
+  BlockMap map(static_cast<uint64_t>(state.range(0)));
+  Rng rng(4);
+  for (Vbn v = 0; v < map.num_blocks(); v += 3) {
+    map.Set(kActivePlane, v);
+  }
+  for (auto _ : state) {
+    map.CopyPlane(kActivePlane, 5);
+    benchmark::DoNotOptimize(map.word(0));
+  }
+}
+BENCHMARK(BM_BlockMapCopyPlane)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ImageBlockSetScan(benchmark::State& state) {
+  BlockMap map(static_cast<uint64_t>(state.range(0)));
+  Rng rng(5);
+  for (Vbn v = 0; v < map.num_blocks(); ++v) {
+    if (rng.Chance(0.6)) {
+      map.Set(kActivePlane, v);
+    }
+    if (rng.Chance(0.5)) {
+      map.Set(1, v);
+    }
+  }
+  for (auto _ : state) {
+    Bitmap set(map.num_blocks());
+    for (Vbn v = 0; v < map.num_blocks(); ++v) {
+      if (map.word(v) != 0 && !map.Test(1, v)) {
+        set.Set(v);
+      }
+    }
+    benchmark::DoNotOptimize(set.CountOnes());
+  }
+}
+BENCHMARK(BM_ImageBlockSetScan)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_DumpRecordSerialize(benchmark::State& state) {
+  DumpRecord rec;
+  rec.type = DumpRecordType::kInode;
+  rec.inum = 1234;
+  rec.attrs = {InodeType::kFile, 0644, 1, 100, 100, 1 << 20, 1, 2, 3, 4};
+  rec.total_blocks = 256;
+  rec.map_count = 256;
+  rec.present_count = 200;
+  rec.block_map.assign(32, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.Serialize());
+  }
+}
+BENCHMARK(BM_DumpRecordSerialize);
+
+void BM_DumpRecordParse(benchmark::State& state) {
+  DumpRecord rec;
+  rec.type = DumpRecordType::kInode;
+  rec.inum = 1234;
+  rec.total_blocks = 256;
+  rec.map_count = 256;
+  rec.present_count = 200;
+  rec.block_map.assign(32, 0xAB);
+  const auto bytes = rec.Serialize().value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DumpRecord::Parse(bytes));
+  }
+}
+BENCHMARK(BM_DumpRecordParse);
+
+void BM_AllocatorSequential(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BlockMap map(1 << 16);
+    WriteAllocator alloc(&map);
+    state.ResumeTiming();
+    for (int i = 0; i < 10000; ++i) {
+      benchmark::DoNotOptimize(alloc.Allocate());
+    }
+  }
+}
+BENCHMARK(BM_AllocatorSequential);
+
+void BM_RaidParityXor(benchmark::State& state) {
+  Block a, b;
+  Rng rng(6);
+  rng.Fill(a.bytes());
+  rng.Fill(b.bytes());
+  for (auto _ : state) {
+    a.XorWith(b);
+    benchmark::DoNotOptimize(a.data[0]);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          kBlockSize);
+}
+BENCHMARK(BM_RaidParityXor);
+
+}  // namespace
+}  // namespace bkup
+
+BENCHMARK_MAIN();

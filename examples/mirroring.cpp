@@ -1,0 +1,86 @@
+// Volume mirroring with incremental image transfers — the paper's §6:
+// "The image dump/restore technology also has potential application to
+// remote mirroring and replication of volumes."
+//
+// A primary filer replicates to a warm standby volume: the first Sync()
+// ships a full image, later Syncs ship only the snapshot-to-snapshot block
+// delta (Table 1's B − A). After a primary failure the standby mounts with
+// the data as of the last sync.
+//
+//   ./build/examples/mirroring
+#include <cstdio>
+
+#include "src/image/mirror.h"
+#include "src/util/random.h"
+#include "src/workload/population.h"
+
+using namespace bkup;  // NOLINT: example brevity
+
+namespace {
+void Must(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+}  // namespace
+
+int main() {
+  SimEnvironment env;
+  VolumeGeometry geometry;
+  geometry.num_raid_groups = 2;
+  geometry.disks_per_group = 4;
+  geometry.blocks_per_disk = 4096;
+  auto primary_volume = Volume::Create(&env, "primary", geometry);
+  auto standby_volume = Volume::Create(&env, "standby", geometry);
+  auto fs = std::move(Filesystem::Format(primary_volume.get(), &env)).value();
+
+  WorkloadParams workload;
+  workload.target_bytes = 16 * kMiB;
+  Must(PopulateFilesystem(fs.get(), workload).status(), "populate");
+
+  VolumeMirror mirror(fs.get(), standby_volume.get());
+
+  // Initial seeding: a full image crosses the (simulated) wire.
+  auto sent = mirror.Sync();
+  Must(sent.status(), "initial sync");
+  std::printf("sync 1 (seed):   %12s transferred\n",
+              FormatSize(*sent).c_str());
+
+  // Steady state: small nightly deltas.
+  Rng rng(9);
+  for (int night = 2; night <= 5; ++night) {
+    // The day's work: a few new files and edits.
+    for (int i = 0; i < 5; ++i) {
+      const std::string path = "/day" + std::to_string(night) + "_file" +
+                               std::to_string(i);
+      Inum inum = fs->Create(path, 0644).value();
+      std::vector<uint8_t> data((rng.Below(64) + 1) * 1024);
+      rng.Fill(data);
+      Must(fs->Write(inum, 0, data), "daily write");
+    }
+    sent = mirror.Sync();
+    Must(sent.status(), "incremental sync");
+    std::printf("sync %d (delta):  %12s transferred\n", night,
+                FormatSize(*sent).c_str());
+  }
+  std::printf("mirror is consistent with snapshot '%s' after %llu syncs\n",
+              mirror.last_transfer_snapshot().c_str(),
+              (unsigned long long)mirror.syncs_completed());
+
+  // Primary fails; promote the standby.
+  const auto primary_state = ChecksumTree(fs->LiveReader()).value();
+  fs.reset();
+  std::printf("\n*** primary filer lost — promoting the standby ***\n");
+  auto standby = Filesystem::Mount(standby_volume.get(), &env);
+  Must(standby.status(), "mount standby");
+  const auto standby_state = ChecksumTree((*standby)->LiveReader()).value();
+  if (standby_state != primary_state) {
+    std::fprintf(stderr, "VERIFY FAILED: standby differs from primary\n");
+    return 1;
+  }
+  std::printf("standby serves all %zu files, bit-identical to the primary "
+              "as of the last sync\n",
+              standby_state.size());
+  return 0;
+}

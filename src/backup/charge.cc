@@ -1,0 +1,105 @@
+#include "src/backup/charge.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/sim/sync.h"
+
+namespace bkup {
+
+namespace {
+
+struct Run {
+  Dbn start;
+  uint64_t count;
+};
+
+// Serves a list of runs on one disk, then signals the latch.
+Task DiskRuns(Disk* disk, std::vector<Run> runs, CountdownLatch* latch) {
+  for (const Run& r : runs) {
+    co_await disk->TimedAccess(r.start, r.count);
+  }
+  latch->CountDown();
+}
+
+void AppendAccess(std::map<Disk*, std::vector<Run>>* per_disk, Disk* disk,
+                  Dbn dbn) {
+  std::vector<Run>& runs = (*per_disk)[disk];
+  if (!runs.empty()) {
+    Run& last = runs.back();
+    if (dbn >= last.start && dbn < last.start + last.count) {
+      return;  // already covered (e.g. one parity block per stripe)
+    }
+    if (last.start + last.count == dbn) {
+      last.count++;
+      return;
+    }
+  }
+  runs.push_back(Run{dbn, 1});
+}
+
+}  // namespace
+
+Task ChargeDiskAccess(SimEnvironment* env, Volume* volume,
+                      std::span<const Vbn> vbns, bool parity_writes) {
+  std::map<Disk*, std::vector<Run>> per_disk;
+  // Parity: per RAID group, mirror of the data run pattern (one parity
+  // touch per distinct stripe, coalesced the same way).
+  std::map<Disk*, std::vector<Run>> parity;
+  for (Vbn v : vbns) {
+    Volume::Placement p = volume->Locate(v);
+    AppendAccess(&per_disk, p.disk, p.dbn);
+    if (parity_writes) {
+      AppendAccess(&parity, p.parity_disk, p.dbn);
+    }
+  }
+  if (parity_writes) {
+    // Parity disks are distinct from data disks, so their runs just join
+    // the per-disk schedule (AppendAccess already deduplicated the one
+    // parity block shared by a stripe's data writes).
+    for (auto& [disk, runs] : parity) {
+      std::vector<Run>& merged = per_disk[disk];
+      merged.insert(merged.end(), runs.begin(), runs.end());
+    }
+  }
+  if (per_disk.empty()) {
+    co_return;
+  }
+  CountdownLatch latch(env, static_cast<int>(per_disk.size()));
+  for (auto& [disk, runs] : per_disk) {
+    env->Spawn(DiskRuns(disk, std::move(runs), &latch));
+  }
+  co_await latch.Wait();
+}
+
+Task ChargeSequentialWrites(SimEnvironment* env, Volume* volume,
+                            uint64_t blocks) {
+  if (blocks == 0) {
+    co_return;
+  }
+  // Round-robin the burst across every data disk; parity disks absorb the
+  // same per-group stripe traffic.
+  std::vector<std::pair<Disk*, uint64_t>> shares;
+  uint64_t data_disks = 0;
+  for (size_t g = 0; g < volume->num_groups(); ++g) {
+    data_disks += volume->group(g)->data_width();
+  }
+  const uint64_t per_disk = (blocks + data_disks - 1) / data_disks;
+  for (size_t g = 0; g < volume->num_groups(); ++g) {
+    RaidGroup* group = volume->group(g);
+    for (size_t c = 0; c < group->data_width(); ++c) {
+      shares.emplace_back(group->data_disk(c), per_disk);
+    }
+    shares.emplace_back(group->parity_disk(), per_disk);
+  }
+  CountdownLatch latch(env, static_cast<int>(shares.size()));
+  for (auto& [disk, count] : shares) {
+    std::vector<Run> runs{Run{disk->head_position(), count}};
+    env->Spawn(DiskRuns(disk, std::move(runs), &latch));
+  }
+  co_await latch.Wait();
+}
+
+}  // namespace bkup

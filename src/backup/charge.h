@@ -1,0 +1,39 @@
+// Disk-time charging for backup jobs.
+//
+// The functional engines report which volume blocks they touched; these
+// helpers convert block lists into simulated disk-arm time. Accesses are
+// grouped per physical disk, coalesced into contiguous runs, served in
+// parallel across disks (each arm is its own resource), and — for writes —
+// also charged against the RAID group's parity disk. This is where the
+// paper's central asymmetry lives: inode-order (scattered) reads pay seeks
+// per run, block-order reads coalesce into long sequential transfers.
+#ifndef BKUP_BACKUP_CHARGE_H_
+#define BKUP_BACKUP_CHARGE_H_
+
+#include <span>
+
+#include "src/raid/volume.h"
+#include "src/sim/environment.h"
+#include "src/sim/task.h"
+
+namespace bkup {
+
+// Charges the arms of `volume` for accessing `vbns` in the given order.
+// Consecutive vbns that land contiguously on a disk coalesce into one
+// transfer. With `parity_writes`, each touched RAID group's parity disk is
+// charged a mirror of the heaviest data-disk run set in that group
+// (RAID-4 full-stripe write behaviour).
+Task ChargeDiskAccess(SimEnvironment* env, Volume* volume,
+                      std::span<const Vbn> vbns, bool parity_writes);
+
+// Charges a purely sequential write-anywhere burst of `blocks` blocks
+// spread round-robin over all data disks (plus parity), each continuing
+// from its current head position. Restore-side flushes use this: the write
+// allocator lays restored data out sequentially regardless of how the
+// stream was ordered.
+Task ChargeSequentialWrites(SimEnvironment* env, Volume* volume,
+                            uint64_t blocks);
+
+}  // namespace bkup
+
+#endif  // BKUP_BACKUP_CHARGE_H_

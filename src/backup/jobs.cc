@@ -1,0 +1,469 @@
+#include "src/backup/jobs.h"
+
+#include <algorithm>
+
+namespace bkup {
+
+namespace {
+
+struct Chunk {
+  uint64_t begin;
+  uint64_t end;
+  JobPhase phase;
+};
+
+// Consumer half of a backup pipeline: drains chunks to the tape, loading
+// the next spare media when the mounted one fills (multi-volume dumps).
+Task TapeWriterProc(ReplayConfig cfg, std::span<const uint8_t> stream,
+                    Channel<Chunk>* channel, JobReport* report,
+                    SimEvent* writer_done) {
+  SimEnvironment* env = cfg.filer->env();
+  size_t next_spare = 0;
+  if (cfg.tape->loaded()) {
+    report->tapes_used.push_back(cfg.tape->tape()->label());
+  }
+  while (true) {
+    std::optional<Chunk> chunk = co_await channel->Recv();
+    if (!chunk.has_value()) {
+      break;
+    }
+    const uint64_t n = chunk->end - chunk->begin;
+    if (cfg.tape->loaded() &&
+        cfg.tape->position() + n > cfg.tape->tape()->capacity()) {
+      if (next_spare < cfg.spare_tapes.size()) {
+        co_await cfg.tape->TimedLoadMedia(cfg.spare_tapes[next_spare++]);
+        report->tapes_used.push_back(cfg.tape->tape()->label());
+      }  // else fall through: the write fails with NoSpace below
+    }
+    Status st;
+    co_await cfg.tape->TimedWrite(stream.subspan(chunk->begin, n), &st);
+    if (!st.ok() && report->status.ok()) {
+      report->status = st;
+    }
+    report->TouchPhase(chunk->phase, env->now(),
+                       cfg.filer->cpu().BusyIntegral());
+    report->phase(chunk->phase).tape_bytes += n;
+  }
+  writer_done->Notify();
+}
+
+// Producer half of a restore pipeline: reads the tape and publishes how
+// many stream bytes have arrived, spanning onto the next media of a
+// multi-volume set as each tape runs dry.
+Task TapeReaderProc(ReplayConfig cfg, uint64_t total_bytes,
+                    Channel<uint64_t>* channel, JobReport* report) {
+  std::vector<uint8_t> scratch(cfg.chunk_bytes);
+  size_t next_spare = 0;
+  if (cfg.tape->loaded()) {
+    report->tapes_used.push_back(cfg.tape->tape()->label());
+  }
+  uint64_t pos = 0;
+  while (pos < total_bytes) {
+    uint64_t remaining_on_tape =
+        cfg.tape->loaded() ? cfg.tape->tape()->size() - cfg.tape->position()
+                           : 0;
+    if (remaining_on_tape == 0) {
+      if (next_spare >= cfg.spare_tapes.size()) {
+        if (report->status.ok()) {
+          report->status = Corruption("multi-volume set ended early");
+        }
+        break;
+      }
+      co_await cfg.tape->TimedLoadMedia(cfg.spare_tapes[next_spare++]);
+      report->tapes_used.push_back(cfg.tape->tape()->label());
+      remaining_on_tape = cfg.tape->tape()->size();
+    }
+    const uint64_t n = std::min<uint64_t>(
+        {cfg.chunk_bytes, total_bytes - pos, remaining_on_tape});
+    Status st;
+    co_await cfg.tape->TimedRead(std::span(scratch).first(n), &st);
+    if (!st.ok() && report->status.ok()) {
+      report->status = st;
+    }
+    pos += n;
+    co_await channel->Send(pos);
+  }
+  channel->Close();
+}
+
+// Charges one event's disk reads, then signals its ready-event and frees a
+// slot in the read-ahead window.
+Task DiskFetch(ReplayConfig cfg, const IoEvent* event, SimEvent* ready,
+               Resource* window) {
+  co_await ChargeDiskAccess(cfg.filer->env(), cfg.volume, event->disk_reads,
+                            /*parity_writes=*/false);
+  ready->Notify();
+  window->Release();
+}
+
+// Write-behind worker for the restore side.
+Task DiskFlush(ReplayConfig cfg, std::vector<Vbn> writes,
+               uint64_t seq_blocks, Resource* window) {
+  SimEnvironment* env = cfg.filer->env();
+  if (!writes.empty()) {
+    co_await ChargeDiskAccess(env, cfg.volume, writes,
+                              /*parity_writes=*/true);
+  } else if (seq_blocks > 0) {
+    co_await ChargeSequentialWrites(env, cfg.volume, seq_blocks);
+  }
+  window->Release();
+}
+
+}  // namespace
+
+Task ReplayToTape(ReplayConfig cfg, const IoTrace* trace,
+                  std::span<const uint8_t> stream, JobReport* report,
+                  CountdownLatch* done) {
+  SimEnvironment* env = cfg.filer->env();
+  Channel<Chunk> channel(env, cfg.pipeline_depth);
+  SimEvent writer_done(env);
+  env->Spawn(TapeWriterProc(cfg, stream, &channel, report, &writer_done));
+
+  // Read-ahead: keep up to disk_window events' disk reads in flight; the
+  // stream is still produced in order.
+  const size_t n_events = trace->events.size();
+  std::vector<std::unique_ptr<SimEvent>> ready(n_events);
+  Resource window(env, static_cast<int64_t>(std::max<size_t>(
+                           1, cfg.disk_window)), "readahead");
+  size_t spawned = 0;
+  auto SpawnFetchesUpTo = [&](size_t limit) -> Task {
+    while (spawned < std::min(limit, n_events)) {
+      const IoEvent& ev = trace->events[spawned];
+      ready[spawned] = std::make_unique<SimEvent>(env);
+      if (ev.disk_reads.empty()) {
+        ready[spawned]->Notify();
+      } else {
+        co_await window.Acquire();
+        env->Spawn(DiskFetch(cfg, &ev, ready[spawned].get(), &window));
+      }
+      ++spawned;
+    }
+  };
+
+  uint64_t sent = 0;
+  for (size_t i = 0; i < n_events; ++i) {
+    const IoEvent& e = trace->events[i];
+    co_await SpawnFetchesUpTo(i + cfg.disk_window + 1);
+    report->TouchPhase(e.phase, env->now(), cfg.filer->cpu().BusyIntegral());
+    co_await ready[i]->Wait();
+    report->phase(e.phase).disk_bytes += e.disk_reads.size() * kBlockSize;
+    co_await cfg.filer->ChargeCpu(e.cpu);
+    while (sent < e.stream_end) {
+      const uint64_t n =
+          std::min<uint64_t>(cfg.chunk_bytes, e.stream_end - sent);
+      co_await channel.Send(Chunk{sent, sent + n, e.phase});
+      sent += n;
+    }
+    report->TouchPhase(e.phase, env->now(), cfg.filer->cpu().BusyIntegral());
+  }
+  channel.Close();
+  co_await writer_done.Wait();
+  report->stream_bytes += stream.size();
+  done->CountDown();
+}
+
+Task ReplayFromTape(ReplayConfig cfg, const IoTrace* trace,
+                    uint64_t stream_bytes, JobReport* report,
+                    CountdownLatch* done) {
+  SimEnvironment* env = cfg.filer->env();
+  Channel<uint64_t> channel(env, cfg.pipeline_depth);
+  env->Spawn(TapeReaderProc(cfg, stream_bytes, &channel, report));
+  const auto window_depth =
+      static_cast<int64_t>(std::max<size_t>(1, cfg.disk_window));
+  Resource write_window(env, window_depth, "writebehind");
+
+  uint64_t available = 0;
+  uint64_t consumed = 0;
+  for (const IoEvent& e : trace->events) {
+    // Wait for the tape to deliver this event's bytes.
+    while (available < e.stream_end) {
+      std::optional<uint64_t> watermark = co_await channel.Recv();
+      if (!watermark.has_value()) {
+        available = stream_bytes;
+        break;
+      }
+      available = *watermark;
+    }
+    report->TouchPhase(e.phase, env->now(), cfg.filer->cpu().BusyIntegral());
+    report->phase(e.phase).tape_bytes += e.stream_end - consumed;
+    consumed = e.stream_end;
+
+    co_await cfg.filer->ChargeCpu(e.cpu);
+    if (cfg.charge_nvram && e.nvram_bytes > 0) {
+      co_await cfg.filer->ChargeNvram(e.nvram_bytes);
+    }
+    // Disk flushes proceed write-behind, bounded by the disk window.
+    if (!e.disk_writes.empty()) {
+      // The engine knows the exact addresses (image restore).
+      co_await write_window.Acquire();
+      env->Spawn(DiskFlush(cfg, e.disk_writes, 0, &write_window));
+      report->phase(e.phase).disk_bytes +=
+          e.disk_writes.size() * kBlockSize;
+    } else if (e.blocks_written > 0) {
+      // Write-anywhere flush: sequential burst plus CP meta amplification.
+      const auto blocks = static_cast<uint64_t>(
+          static_cast<double>(e.blocks_written) *
+          (1.0 + cfg.write_meta_multiplier));
+      co_await write_window.Acquire();
+      env->Spawn(DiskFlush(cfg, {}, blocks, &write_window));
+      report->phase(e.phase).disk_bytes += blocks * kBlockSize;
+    }
+    report->TouchPhase(e.phase, env->now(), cfg.filer->cpu().BusyIntegral());
+  }
+  // Drain any watermarks still queued (trailing stream padding) and wait
+  // for outstanding write-behind flushes.
+  while (true) {
+    std::optional<uint64_t> watermark = co_await channel.Recv();
+    if (!watermark.has_value()) {
+      break;
+    }
+  }
+  co_await write_window.Acquire(window_depth);
+  write_window.Release(window_depth);
+  report->stream_bytes += stream_bytes;
+  done->CountDown();
+}
+
+Task SnapshotPhase(Filer* filer, JobReport* report, JobPhase phase,
+                   SimDuration duration) {
+  SimEnvironment* env = filer->env();
+  report->TouchPhase(phase, env->now(), filer->cpu().BusyIntegral());
+  // Duty-cycle the CPU at the target fraction in short slices so that
+  // concurrent jobs are not starved for the whole window.
+  const SimTime deadline = env->now() + duration;
+  const SimDuration slice = 20 * kMillisecond;
+  const auto busy_slice = static_cast<SimDuration>(
+      static_cast<double>(slice) * filer->model().snapshot_cpu_fraction);
+  while (env->now() < deadline) {
+    co_await filer->cpu().Use(1, busy_slice);
+    const SimDuration idle =
+        std::min<SimDuration>(slice - busy_slice, deadline - env->now());
+    if (idle > 0) {
+      co_await env->Delay(idle);
+    }
+  }
+  report->TouchPhase(phase, env->now(), filer->cpu().BusyIntegral());
+}
+
+Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
+                      LogicalDumpOptions options,
+                      LogicalBackupJobResult* result, CountdownLatch* done,
+                      std::vector<Tape*> spare_tapes) {
+  SimEnvironment* env = filer->env();
+  JobReport& report = result->report;
+  report.name = "Logical backup";
+  report.start_time = env->now();
+  report.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  const std::string snap =
+      options.snapshot_name.empty() ? "dump.auto" : options.snapshot_name;
+  options.snapshot_name = snap;
+  report.status = fs->CreateSnapshot(snap);
+  if (!report.status.ok()) {
+    done->CountDown();
+    co_return;
+  }
+  co_await SnapshotPhase(filer, &report, JobPhase::kCreateSnapshot,
+                         filer->model().snapshot_create_time);
+
+  options.dump_time = env->now();
+  Result<FsReader> reader = fs->SnapshotReader(snap);
+  if (!reader.ok()) {
+    report.status = reader.status();
+    done->CountDown();
+    co_return;
+  }
+  Result<LogicalDumpOutput> dump = RunLogicalDump(*reader, options);
+  if (!dump.ok()) {
+    report.status = dump.status();
+    done->CountDown();
+    co_return;
+  }
+  result->dump = std::move(*dump);
+
+  ReplayConfig cfg;
+  cfg.filer = filer;
+  cfg.volume = fs->volume();
+  cfg.tape = tape;
+  cfg.spare_tapes = std::move(spare_tapes);
+  CountdownLatch replay_done(env, 1);
+  env->Spawn(ReplayToTape(cfg, &result->dump.trace, result->dump.stream,
+                          &report, &replay_done));
+  co_await replay_done.Wait();
+
+  Status del = fs->DeleteSnapshot(snap);
+  if (!del.ok() && report.status.ok()) {
+    report.status = del;
+  }
+  co_await SnapshotPhase(filer, &report, JobPhase::kDeleteSnapshot,
+                         filer->model().snapshot_delete_time);
+
+  report.end_time = env->now();
+  report.cpu_busy_end = filer->cpu().BusyIntegral();
+  report.data_bytes = result->dump.stats.data_blocks * kBlockSize;
+  done->CountDown();
+}
+
+Task LogicalRestoreJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
+                       LogicalRestoreOptions options, bool bypass_nvram,
+                       LogicalRestoreJobResult* result, CountdownLatch* done,
+                       std::vector<Tape*> spare_tapes) {
+  SimEnvironment* env = filer->env();
+  JobReport& report = result->report;
+  report.name = bypass_nvram ? "Logical restore (NVRAM bypass)"
+                             : "Logical restore";
+  report.start_time = env->now();
+  report.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  if (!tape->loaded()) {
+    report.status = FailedPrecondition("no tape loaded for restore");
+    done->CountDown();
+    co_return;
+  }
+  // A multi-volume set restores as the concatenation of its media.
+  std::vector<uint8_t> spanned;
+  std::span<const uint8_t> stream = tape->tape()->contents();
+  if (!spare_tapes.empty()) {
+    spanned.assign(stream.begin(), stream.end());
+    for (Tape* t : spare_tapes) {
+      spanned.insert(spanned.end(), t->contents().begin(),
+                     t->contents().end());
+    }
+    stream = spanned;
+  }
+
+  fs->MarkCpCounters();
+  Result<LogicalRestoreOutput> restored =
+      RunLogicalRestore(fs, stream, options);
+  if (!restored.ok()) {
+    report.status = restored.status();
+    done->CountDown();
+    co_return;
+  }
+  result->restore = std::move(*restored);
+
+  // Meta-data write amplification measured from the real consistency
+  // points the functional restore performed.
+  const uint64_t data_writes = fs->cp_data_writes_since_mark();
+  const uint64_t meta_writes = fs->cp_meta_writes_since_mark();
+  ReplayConfig cfg;
+  cfg.filer = filer;
+  cfg.volume = fs->volume();
+  cfg.tape = tape;
+  cfg.spare_tapes = std::move(spare_tapes);
+  cfg.charge_nvram = !bypass_nvram;
+  cfg.write_meta_multiplier =
+      data_writes > 0
+          ? static_cast<double>(meta_writes) / static_cast<double>(data_writes)
+          : 0.5;
+
+  CountdownLatch replay_done(env, 1);
+  env->Spawn(ReplayFromTape(cfg, &result->restore.trace, stream.size(),
+                            &report, &replay_done));
+  co_await replay_done.Wait();
+
+  report.end_time = env->now();
+  report.cpu_busy_end = filer->cpu().BusyIntegral();
+  report.data_bytes = result->restore.stats.bytes_restored;
+  done->CountDown();
+}
+
+Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
+                    ImageDumpOptions options, bool delete_snapshot_after,
+                    ImageBackupJobResult* result, CountdownLatch* done) {
+  SimEnvironment* env = filer->env();
+  JobReport& report = result->report;
+  report.name = "Physical backup";
+  report.start_time = env->now();
+  report.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  const std::string snap =
+      options.snapshot_name.empty() ? "image.auto" : options.snapshot_name;
+  options.snapshot_name = snap;
+  // The snapshot may already exist when several parallel part-jobs share
+  // one quiesce point; only the first creates it.
+  const bool created_here = !fs->FindSnapshot(snap).ok();
+  if (created_here) {
+    report.status = fs->CreateSnapshot(snap);
+    if (!report.status.ok()) {
+      done->CountDown();
+      co_return;
+    }
+    co_await SnapshotPhase(filer, &report, JobPhase::kCreateSnapshot,
+                           filer->model().snapshot_create_time);
+  }
+
+  options.dump_time = env->now();
+  Result<ImageDumpOutput> dump = RunImageDump(fs->volume(), options);
+  if (!dump.ok()) {
+    report.status = dump.status();
+    done->CountDown();
+    co_return;
+  }
+  result->dump = std::move(*dump);
+
+  ReplayConfig cfg;
+  cfg.filer = filer;
+  cfg.volume = fs->volume();
+  cfg.tape = tape;
+  CountdownLatch replay_done(env, 1);
+  env->Spawn(ReplayToTape(cfg, &result->dump.trace, result->dump.stream,
+                          &report, &replay_done));
+  co_await replay_done.Wait();
+
+  if (delete_snapshot_after && created_here) {
+    Status del = fs->DeleteSnapshot(snap);
+    if (!del.ok() && report.status.ok()) {
+      report.status = del;
+    }
+    co_await SnapshotPhase(filer, &report, JobPhase::kDeleteSnapshot,
+                           filer->model().snapshot_delete_time);
+  }
+
+  report.end_time = env->now();
+  report.cpu_busy_end = filer->cpu().BusyIntegral();
+  report.data_bytes = result->dump.stats.blocks_dumped * kBlockSize;
+  done->CountDown();
+}
+
+Task ImageRestoreJob(Filer* filer, Volume* volume, TapeDrive* tape,
+                     ImageRestoreJobResult* result, CountdownLatch* done) {
+  SimEnvironment* env = filer->env();
+  JobReport& report = result->report;
+  report.name = "Physical restore";
+  report.start_time = env->now();
+  report.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  if (!tape->loaded()) {
+    report.status = FailedPrecondition("no tape loaded for restore");
+    done->CountDown();
+    co_return;
+  }
+  const std::span<const uint8_t> stream = tape->tape()->contents();
+  Result<ImageRestoreOutput> restored = RunImageRestore(volume, stream);
+  if (!restored.ok()) {
+    report.status = restored.status();
+    done->CountDown();
+    co_return;
+  }
+  result->restore = std::move(*restored);
+
+  ReplayConfig cfg;
+  cfg.filer = filer;
+  cfg.volume = volume;
+  cfg.tape = tape;
+  cfg.charge_nvram = false;  // "bypass the NVRAM ... further enhancing
+                             // performance"
+  CountdownLatch replay_done(env, 1);
+  env->Spawn(ReplayFromTape(cfg, &result->restore.trace, stream.size(),
+                            &report, &replay_done));
+  co_await replay_done.Wait();
+
+  report.end_time = env->now();
+  report.cpu_busy_end = filer->cpu().BusyIntegral();
+  report.data_bytes =
+      result->restore.stats.blocks_restored * kBlockSize;
+  done->CountDown();
+}
+
+}  // namespace bkup

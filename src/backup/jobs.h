@@ -1,0 +1,125 @@
+// Backup and restore *jobs*: coroutine pipelines that run the functional
+// engines and replay their I/O traces through the simulated filer.
+//
+// A job has the structure of WAFL's real dump path — a producer touching
+// disks and CPU, a bounded buffer, and a consumer streaming a tape drive:
+//
+//     [disk reads + CPU] -> Channel<chunk> -> [tape writes]      (backup)
+//     [tape reads] -> Channel<watermark> -> [CPU/NVRAM + disk]   (restore)
+//
+// Because the stages share the filer's CPU, the NVRAM port, the disk arms
+// and each tape's streaming behaviour, the paper's phenomena — tape
+// bottleneck at one drive, disk/CPU saturation of parallel logical dumps,
+// near-linear physical scaling — emerge from the simulation rather than
+// being asserted.
+#ifndef BKUP_BACKUP_JOBS_H_
+#define BKUP_BACKUP_JOBS_H_
+
+#include <span>
+#include <string>
+
+#include "src/backup/charge.h"
+#include "src/backup/filer.h"
+#include "src/backup/report.h"
+#include "src/block/tape.h"
+#include "src/dump/logical_dump.h"
+#include "src/dump/logical_restore.h"
+#include "src/fs/filesystem.h"
+#include "src/image/image_dump.h"
+#include "src/sim/channel.h"
+#include "src/sim/sync.h"
+
+namespace bkup {
+
+struct ReplayConfig {
+  Filer* filer = nullptr;
+  Volume* volume = nullptr;
+  TapeDrive* tape = nullptr;
+  // Multi-volume dumps: when the mounted tape fills, the next media in this
+  // list is loaded (paying the stacker's load time) and the stream
+  // continues — the operator-feeding-tapes model of dump(8). The same list,
+  // in the same order, must be supplied to the restore replay.
+  std::vector<Tape*> spare_tapes;
+  // Logical restore pays the NVRAM log; image restore bypasses it.
+  bool charge_nvram = false;
+  // Extra meta-data blocks written per data block at consistency points
+  // (measured from the functional run's CP reports).
+  double write_meta_multiplier = 0.0;
+  // Pipeline buffer pool: chunks in flight between producer and consumer.
+  size_t pipeline_depth = 8;
+  uint64_t chunk_bytes = 256 * kKiB;
+  // Outstanding disk operations: dump-side read-ahead (the kernel dump
+  // "generates its own read-ahead policy") and restore-side write-behind
+  // (consistency points flush asynchronously).
+  size_t disk_window = 8;
+};
+
+// Replays a dump-side trace: charges disk reads and CPU per event and
+// streams the produced bytes to the tape. Accumulates phase stats into
+// `report` (does not set the report's envelope fields).
+Task ReplayToTape(ReplayConfig cfg, const IoTrace* trace,
+                  std::span<const uint8_t> stream, JobReport* report,
+                  CountdownLatch* done);
+
+// Replays a restore-side trace: reads the stream back off the tape and
+// charges CPU, NVRAM, and disk writes as each event's bytes arrive.
+Task ReplayFromTape(ReplayConfig cfg, const IoTrace* trace,
+                    uint64_t stream_bytes, JobReport* report,
+                    CountdownLatch* done);
+
+// ------------------------------------------------------- complete jobs ---
+
+struct LogicalBackupJobResult {
+  LogicalDumpOutput dump;
+  JobReport report;
+};
+
+// Snapshot create -> 4-phase dump to tape -> snapshot delete (the exact
+// stage sequence of Table 3's "Logical Dump" rows).
+Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
+                      LogicalDumpOptions options,
+                      LogicalBackupJobResult* result, CountdownLatch* done,
+                      std::vector<Tape*> spare_tapes = {});
+
+struct LogicalRestoreJobResult {
+  LogicalRestoreOutput restore;
+  JobReport report;
+};
+
+// Restores the stream recorded on `tape` through the file system. With
+// `bypass_nvram`, models the paper's footnote-2 variant ("Modifying WAFL's
+// logical restore to avoid NVRAM is in the works").
+Task LogicalRestoreJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
+                       LogicalRestoreOptions options, bool bypass_nvram,
+                       LogicalRestoreJobResult* result, CountdownLatch* done,
+                       std::vector<Tape*> spare_tapes = {});
+
+struct ImageBackupJobResult {
+  ImageDumpOutput dump;
+  JobReport report;
+};
+
+// Snapshot create -> block-order image dump to tape [-> snapshot delete].
+// Keep the snapshot (delete_snapshot_after = false) when it will base a
+// later incremental.
+Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
+                    ImageDumpOptions options, bool delete_snapshot_after,
+                    ImageBackupJobResult* result, CountdownLatch* done);
+
+struct ImageRestoreJobResult {
+  ImageRestoreOutput restore;
+  JobReport report;
+};
+
+// Restores an image stream from `tape` straight through the RAID layer.
+Task ImageRestoreJob(Filer* filer, Volume* volume, TapeDrive* tape,
+                     ImageRestoreJobResult* result, CountdownLatch* done);
+
+// Charges a snapshot create/delete window (~30 s at ~50% CPU) and records
+// it as `phase` in the report. Exposed for composed multi-tape jobs.
+Task SnapshotPhase(Filer* filer, JobReport* report, JobPhase phase,
+                   SimDuration duration);
+
+}  // namespace bkup
+
+#endif  // BKUP_BACKUP_JOBS_H_

@@ -1,0 +1,261 @@
+#include "src/backup/parallel.h"
+
+#include <cassert>
+
+namespace bkup {
+
+namespace {
+
+// One logical part: functional dump of a subtree, then replay to its drive.
+Task LogicalPart(Filer* filer, Filesystem* fs, TapeDrive* drive,
+                 LogicalDumpOptions options, LogicalBackupJobResult* part,
+                 CountdownLatch* latch) {
+  SimEnvironment* env = filer->env();
+  JobReport& report = part->report;
+  report.name = "Logical backup [" + options.subtree + "]";
+  report.start_time = env->now();
+  report.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  Result<FsReader> reader = fs->SnapshotReader(options.snapshot_name);
+  if (!reader.ok()) {
+    report.status = reader.status();
+    latch->CountDown();
+    co_return;
+  }
+  Result<LogicalDumpOutput> dump = RunLogicalDump(*reader, options);
+  if (!dump.ok()) {
+    report.status = dump.status();
+    latch->CountDown();
+    co_return;
+  }
+  part->dump = std::move(*dump);
+
+  ReplayConfig cfg;
+  cfg.filer = filer;
+  cfg.volume = fs->volume();
+  cfg.tape = drive;
+  CountdownLatch replay_done(env, 1);
+  env->Spawn(ReplayToTape(cfg, &part->dump.trace, part->dump.stream, &report,
+                          &replay_done));
+  co_await replay_done.Wait();
+
+  report.end_time = env->now();
+  report.cpu_busy_end = filer->cpu().BusyIntegral();
+  report.data_bytes = part->dump.stats.data_blocks * kBlockSize;
+  latch->CountDown();
+}
+
+Task ImagePart(Filer* filer, Filesystem* fs, TapeDrive* drive,
+               ImageDumpOptions options, ImageBackupJobResult* part,
+               CountdownLatch* latch) {
+  SimEnvironment* env = filer->env();
+  JobReport& report = part->report;
+  report.name = "Physical backup [part " +
+                std::to_string(options.part_index) + "/" +
+                std::to_string(options.part_count) + "]";
+  report.start_time = env->now();
+  report.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  Result<ImageDumpOutput> dump = RunImageDump(fs->volume(), options);
+  if (!dump.ok()) {
+    report.status = dump.status();
+    latch->CountDown();
+    co_return;
+  }
+  part->dump = std::move(*dump);
+
+  ReplayConfig cfg;
+  cfg.filer = filer;
+  cfg.volume = fs->volume();
+  cfg.tape = drive;
+  CountdownLatch replay_done(env, 1);
+  env->Spawn(ReplayToTape(cfg, &part->dump.trace, part->dump.stream, &report,
+                          &replay_done));
+  co_await replay_done.Wait();
+
+  report.end_time = env->now();
+  report.cpu_busy_end = filer->cpu().BusyIntegral();
+  report.data_bytes = part->dump.stats.blocks_dumped * kBlockSize;
+  latch->CountDown();
+}
+
+std::vector<JobReport> CollectReports(
+    const JobReport* control,
+    const std::vector<std::unique_ptr<LogicalBackupJobResult>>& parts) {
+  std::vector<JobReport> reports;
+  if (control != nullptr) {
+    reports.push_back(*control);
+  }
+  for (const auto& p : parts) {
+    reports.push_back(p->report);
+  }
+  return reports;
+}
+
+}  // namespace
+
+Task ParallelLogicalBackupJob(Filer* filer, Filesystem* fs,
+                              std::vector<TapeDrive*> drives,
+                              std::vector<std::string> subtrees,
+                              LogicalDumpOptions base_options,
+                              ParallelLogicalBackupResult* result,
+                              CountdownLatch* done) {
+  assert(drives.size() == subtrees.size() && !drives.empty());
+  SimEnvironment* env = filer->env();
+  JobReport& control = result->control;
+  control.name = "Parallel logical backup (control)";
+  control.start_time = env->now();
+  control.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  const std::string snap = base_options.snapshot_name.empty()
+                               ? "dump.parallel"
+                               : base_options.snapshot_name;
+  control.status = fs->CreateSnapshot(snap);
+  if (!control.status.ok()) {
+    done->CountDown();
+    co_return;
+  }
+  co_await SnapshotPhase(filer, &control, JobPhase::kCreateSnapshot,
+                         filer->model().snapshot_create_time);
+
+  CountdownLatch parts_done(env, static_cast<int>(drives.size()));
+  for (size_t k = 0; k < drives.size(); ++k) {
+    LogicalDumpOptions options = base_options;
+    options.snapshot_name = snap;
+    options.subtree = subtrees[k];
+    options.dump_time = env->now();
+    result->parts.push_back(std::make_unique<LogicalBackupJobResult>());
+    env->Spawn(LogicalPart(filer, fs, drives[k], options,
+                           result->parts.back().get(), &parts_done));
+  }
+  co_await parts_done.Wait();
+
+  Status del = fs->DeleteSnapshot(snap);
+  if (!del.ok() && control.status.ok()) {
+    control.status = del;
+  }
+  co_await SnapshotPhase(filer, &control, JobPhase::kDeleteSnapshot,
+                         filer->model().snapshot_delete_time);
+  control.end_time = env->now();
+  control.cpu_busy_end = filer->cpu().BusyIntegral();
+
+  result->merged =
+      MergeReports("Parallel logical backup", CollectReports(&control,
+                                                             result->parts));
+  done->CountDown();
+}
+
+Task ParallelLogicalRestoreJob(Filer* filer, Filesystem* fs,
+                               std::vector<TapeDrive*> drives,
+                               std::vector<std::string> target_dirs,
+                               bool bypass_nvram,
+                               ParallelLogicalRestoreResult* result,
+                               CountdownLatch* done) {
+  assert(drives.size() == target_dirs.size() && !drives.empty());
+  SimEnvironment* env = filer->env();
+  CountdownLatch parts_done(env, static_cast<int>(drives.size()));
+  for (size_t k = 0; k < drives.size(); ++k) {
+    if (target_dirs[k] != "/" && !fs->LookupPath(target_dirs[k]).ok()) {
+      Result<Inum> made = fs->Mkdir(target_dirs[k], 0755);
+      if (!made.ok()) {
+        result->merged.status = made.status();
+        done->CountDown();
+        co_return;
+      }
+    }
+    LogicalRestoreOptions options;
+    options.target_dir = target_dirs[k];
+    result->parts.push_back(std::make_unique<LogicalRestoreJobResult>());
+    env->Spawn(LogicalRestoreJob(filer, fs, drives[k], options, bypass_nvram,
+                                 result->parts.back().get(), &parts_done));
+  }
+  co_await parts_done.Wait();
+  std::vector<JobReport> reports;
+  for (const auto& p : result->parts) {
+    reports.push_back(p->report);
+  }
+  result->merged = MergeReports("Parallel logical restore", reports);
+  done->CountDown();
+}
+
+Task ParallelImageBackupJob(Filer* filer, Filesystem* fs,
+                            std::vector<TapeDrive*> drives,
+                            ImageDumpOptions base_options,
+                            bool delete_snapshot_after,
+                            ParallelImageBackupResult* result,
+                            CountdownLatch* done) {
+  assert(!drives.empty());
+  SimEnvironment* env = filer->env();
+  JobReport& control = result->control;
+  control.name = "Parallel physical backup (control)";
+  control.start_time = env->now();
+  control.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  const std::string snap = base_options.snapshot_name.empty()
+                               ? "image.parallel"
+                               : base_options.snapshot_name;
+  const bool created_here = !fs->FindSnapshot(snap).ok();
+  if (created_here) {
+    control.status = fs->CreateSnapshot(snap);
+    if (!control.status.ok()) {
+      done->CountDown();
+      co_return;
+    }
+    co_await SnapshotPhase(filer, &control, JobPhase::kCreateSnapshot,
+                           filer->model().snapshot_create_time);
+  }
+
+  CountdownLatch parts_done(env, static_cast<int>(drives.size()));
+  for (size_t k = 0; k < drives.size(); ++k) {
+    ImageDumpOptions options = base_options;
+    options.snapshot_name = snap;
+    options.part_index = static_cast<uint32_t>(k);
+    options.part_count = static_cast<uint32_t>(drives.size());
+    options.dump_time = env->now();
+    result->parts.push_back(std::make_unique<ImageBackupJobResult>());
+    env->Spawn(ImagePart(filer, fs, drives[k], options,
+                         result->parts.back().get(), &parts_done));
+  }
+  co_await parts_done.Wait();
+
+  if (delete_snapshot_after && created_here) {
+    Status del = fs->DeleteSnapshot(snap);
+    if (!del.ok() && control.status.ok()) {
+      control.status = del;
+    }
+    co_await SnapshotPhase(filer, &control, JobPhase::kDeleteSnapshot,
+                           filer->model().snapshot_delete_time);
+  }
+  control.end_time = env->now();
+  control.cpu_busy_end = filer->cpu().BusyIntegral();
+
+  std::vector<JobReport> reports{control};
+  for (const auto& p : result->parts) {
+    reports.push_back(p->report);
+  }
+  result->merged = MergeReports("Parallel physical backup", reports);
+  done->CountDown();
+}
+
+Task ParallelImageRestoreJob(Filer* filer, Volume* volume,
+                             std::vector<TapeDrive*> drives,
+                             ParallelImageRestoreResult* result,
+                             CountdownLatch* done) {
+  assert(!drives.empty());
+  SimEnvironment* env = filer->env();
+  CountdownLatch parts_done(env, static_cast<int>(drives.size()));
+  for (TapeDrive* drive : drives) {
+    result->parts.push_back(std::make_unique<ImageRestoreJobResult>());
+    env->Spawn(ImageRestoreJob(filer, volume, drive,
+                               result->parts.back().get(), &parts_done));
+  }
+  co_await parts_done.Wait();
+  std::vector<JobReport> reports;
+  for (const auto& p : result->parts) {
+    reports.push_back(p->report);
+  }
+  result->merged = MergeReports("Parallel physical restore", reports);
+  done->CountDown();
+}
+
+}  // namespace bkup

@@ -1,0 +1,137 @@
+#include "src/backup/report.h"
+
+#include <algorithm>
+
+namespace bkup {
+
+void JobReport::TouchPhase(JobPhase p, SimTime now, int64_t cpu_busy) {
+  PhaseStats& stats = phase(p);
+  if (!stats.active()) {
+    stats.start = now;
+    stats.cpu_busy_start = cpu_busy;
+  }
+  stats.end = std::max(stats.end, now);
+  stats.cpu_busy_end = cpu_busy;
+}
+
+double JobReport::CpuUtilization() const {
+  const SimDuration e = elapsed();
+  if (e <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(cpu_busy_end - cpu_busy_start) /
+         static_cast<double>(e);
+}
+
+uint64_t JobReport::total_disk_bytes() const {
+  uint64_t n = 0;
+  for (const PhaseStats& p : phases) {
+    n += p.disk_bytes;
+  }
+  return n;
+}
+
+uint64_t JobReport::total_tape_bytes() const {
+  uint64_t n = 0;
+  for (const PhaseStats& p : phases) {
+    n += p.tape_bytes;
+  }
+  return n;
+}
+
+double JobReport::StreamCpuUtilization() const {
+  const SimDuration e = StreamElapsed();
+  if (e <= 0) {
+    return 0.0;
+  }
+  int64_t busy = cpu_busy_end - cpu_busy_start;
+  for (const JobPhase p :
+       {JobPhase::kCreateSnapshot, JobPhase::kDeleteSnapshot}) {
+    const PhaseStats& s = phase(p);
+    if (s.active()) {
+      busy -= s.cpu_busy_end - s.cpu_busy_start;
+    }
+  }
+  return static_cast<double>(busy) / static_cast<double>(e);
+}
+
+double JobReport::DiskMBps() const {
+  const SimDuration e = StreamElapsed();
+  if (e <= 0) {
+    return 0.0;
+  }
+  return BytesPerSecToMBps(static_cast<double>(total_disk_bytes()) /
+                           SimToSeconds(e));
+}
+
+double JobReport::TapeMBps() const {
+  const SimDuration e = StreamElapsed();
+  if (e <= 0) {
+    return 0.0;
+  }
+  return BytesPerSecToMBps(static_cast<double>(total_tape_bytes()) /
+                           SimToSeconds(e));
+}
+
+void JobReport::PrintSummaryRow(FILE* out) const {
+  std::fprintf(out, "%-24s %12s %10.2f %10.1f\n", name.c_str(),
+               FormatDuration(elapsed()).c_str(), MBps(), GBph());
+}
+
+void JobReport::PrintPhaseRows(FILE* out) const {
+  for (int i = 0; i < static_cast<int>(JobPhase::kCount); ++i) {
+    const PhaseStats& p = phases[i];
+    if (!p.active() || p.elapsed() <= 0) {
+      continue;
+    }
+    std::fprintf(out, "  %-32s %14s %8s\n",
+                 JobPhaseName(static_cast<JobPhase>(i)),
+                 FormatDuration(p.elapsed()).c_str(),
+                 FormatPercent(p.CpuUtilization()).c_str());
+  }
+}
+
+JobReport MergeReports(const std::string& name,
+                       std::span<const JobReport> parts) {
+  JobReport merged;
+  merged.name = name;
+  if (parts.empty()) {
+    return merged;
+  }
+  merged.start_time = parts[0].start_time;
+  merged.end_time = parts[0].end_time;
+  merged.cpu_busy_start = parts[0].cpu_busy_start;
+  merged.cpu_busy_end = parts[0].cpu_busy_end;
+  for (const JobReport& r : parts) {
+    merged.start_time = std::min(merged.start_time, r.start_time);
+    merged.end_time = std::max(merged.end_time, r.end_time);
+    merged.stream_bytes += r.stream_bytes;
+    merged.data_bytes += r.data_bytes;
+    // The CPU is shared: take the widest busy-integral window.
+    merged.cpu_busy_start = std::min(merged.cpu_busy_start, r.cpu_busy_start);
+    merged.cpu_busy_end = std::max(merged.cpu_busy_end, r.cpu_busy_end);
+    if (!r.status.ok() && merged.status.ok()) {
+      merged.status = r.status;
+    }
+    for (int i = 0; i < static_cast<int>(JobPhase::kCount); ++i) {
+      const PhaseStats& p = r.phases[i];
+      if (!p.active()) {
+        continue;
+      }
+      PhaseStats& m = merged.phases[i];
+      if (!m.active()) {
+        m = p;
+        continue;
+      }
+      m.start = std::min(m.start, p.start);
+      m.end = std::max(m.end, p.end);
+      m.cpu_busy_start = std::min(m.cpu_busy_start, p.cpu_busy_start);
+      m.cpu_busy_end = std::max(m.cpu_busy_end, p.cpu_busy_end);
+      m.disk_bytes += p.disk_bytes;
+      m.tape_bytes += p.tape_bytes;
+    }
+  }
+  return merged;
+}
+
+}  // namespace bkup

@@ -1,0 +1,105 @@
+// Job reports: the measurement side of the reproduction. Each backup or
+// restore job fills one of these; the bench binaries print them in the shape
+// of the paper's Tables 2-5.
+#ifndef BKUP_BACKUP_REPORT_H_
+#define BKUP_BACKUP_REPORT_H_
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/block/io_trace.h"
+#include "src/sim/resource.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace bkup {
+
+// Accumulated activity of one job phase (one row of Table 3).
+struct PhaseStats {
+  SimTime start = -1;
+  SimTime end = -1;
+  int64_t cpu_busy_start = 0;
+  int64_t cpu_busy_end = 0;
+  uint64_t disk_bytes = 0;
+  uint64_t tape_bytes = 0;
+
+  bool active() const { return start >= 0; }
+  SimDuration elapsed() const { return active() ? end - start : 0; }
+  double CpuUtilization() const {
+    const SimDuration e = elapsed();
+    if (e <= 0) {
+      return 0.0;
+    }
+    return static_cast<double>(cpu_busy_end - cpu_busy_start) /
+           static_cast<double>(e);
+  }
+};
+
+struct JobReport {
+  std::string name;
+  SimTime start_time = 0;
+  SimTime end_time = 0;
+  uint64_t stream_bytes = 0;  // backup/restore payload moved
+  uint64_t data_bytes = 0;    // user data represented by the stream
+  std::vector<std::string> tapes_used;  // media labels, in write order
+  Status status;
+  std::array<PhaseStats, static_cast<int>(JobPhase::kCount)> phases{};
+
+  PhaseStats& phase(JobPhase p) { return phases[static_cast<int>(p)]; }
+  const PhaseStats& phase(JobPhase p) const {
+    return phases[static_cast<int>(p)];
+  }
+
+  SimDuration elapsed() const { return end_time - start_time; }
+
+  // Fixed snapshot bookkeeping time; independent of data volume, so rates
+  // exclude it (at the paper's 188 GB it is negligible; at bench scale it
+  // would swamp the signal).
+  SimDuration SnapshotOverhead() const {
+    return phase(JobPhase::kCreateSnapshot).elapsed() +
+           phase(JobPhase::kDeleteSnapshot).elapsed();
+  }
+  SimDuration StreamElapsed() const { return elapsed() - SnapshotOverhead(); }
+
+  double BytesPerSecond() const {
+    const SimDuration e = StreamElapsed();
+    return e > 0 ? static_cast<double>(data_bytes) / SimToSeconds(e) : 0.0;
+  }
+  double MBps() const { return BytesPerSecToMBps(BytesPerSecond()); }
+  double GBph() const { return BytesPerSecToGBph(BytesPerSecond()); }
+
+  // Whole-job CPU utilization.
+  double CpuUtilization() const;
+  // CPU utilization over the streaming window, excluding the fixed
+  // snapshot-bookkeeping phases.
+  double StreamCpuUtilization() const;
+  int64_t cpu_busy_start = 0;
+  int64_t cpu_busy_end = 0;
+
+  // Aggregate device throughput over the job window (the Disk MB/s and
+  // Tape MB/s columns of Tables 4-5).
+  uint64_t total_disk_bytes() const;
+  uint64_t total_tape_bytes() const;
+  // Device throughput over the streaming window.
+  double DiskMBps() const;
+  double TapeMBps() const;
+
+  // Prints "Operation / Elapsed / MB/s / GB/h" (Table 2 row).
+  void PrintSummaryRow(FILE* out) const;
+  // Prints the per-stage breakdown (Table 3 rows).
+  void PrintPhaseRows(FILE* out) const;
+
+  // Marks activity of `p` at the current time with the CPU busy integral.
+  void TouchPhase(JobPhase p, SimTime now, int64_t cpu_busy);
+};
+
+// Merges parallel per-tape reports into one operation-level report (the
+// Table 4/5 view of N concurrent jobs).
+JobReport MergeReports(const std::string& name,
+                       std::span<const JobReport> parts);
+
+}  // namespace bkup
+
+#endif  // BKUP_BACKUP_REPORT_H_

@@ -1,0 +1,31 @@
+#include "src/block/io_trace.h"
+
+namespace bkup {
+
+const char* JobPhaseName(JobPhase phase) {
+  switch (phase) {
+    case JobPhase::kCreateSnapshot:
+      return "Creating snapshot";
+    case JobPhase::kMap:
+      return "Mapping files and directories";
+    case JobPhase::kDumpDirs:
+      return "Dumping directories";
+    case JobPhase::kDumpFiles:
+      return "Dumping files";
+    case JobPhase::kDeleteSnapshot:
+      return "Deleting snapshot";
+    case JobPhase::kCreateFiles:
+      return "Creating files";
+    case JobPhase::kFillData:
+      return "Filling in data";
+    case JobPhase::kDumpBlocks:
+      return "Dumping blocks";
+    case JobPhase::kRestoreBlocks:
+      return "Restoring blocks";
+    case JobPhase::kCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace bkup

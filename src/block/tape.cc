@@ -1,0 +1,125 @@
+#include "src/block/tape.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bkup {
+
+void Tape::CorruptAt(uint64_t offset, uint64_t length) {
+  const uint64_t end = std::min<uint64_t>(offset + length, bytes_.size());
+  for (uint64_t i = offset; i < end; ++i) {
+    bytes_[i] ^= 0x5A;
+  }
+}
+
+TapeDrive::TapeDrive(SimEnvironment* env, std::string name, TapeTiming timing)
+    : env_(env),
+      name_(std::move(name)),
+      timing_(timing),
+      unit_(env, 1, name_ + ".unit") {}
+
+void TapeDrive::LoadMedia(Tape* tape) {
+  tape_ = tape;
+  position_ = 0;
+  streaming_until_ = -1;
+}
+
+Task TapeDrive::TimedLoadMedia(Tape* tape) {
+  co_await unit_.Acquire();
+  co_await env_->Delay(timing_.load_time);
+  LoadMedia(tape);
+  unit_.Release();
+}
+
+void TapeDrive::UnloadMedia() {
+  tape_ = nullptr;
+  position_ = 0;
+}
+
+Task TapeDrive::TimedRewind() {
+  co_await unit_.Acquire();
+  co_await env_->Delay(timing_.rewind_time);
+  Rewind();
+  streaming_until_ = -1;
+  unit_.Release();
+}
+
+Status TapeDrive::WriteData(std::span<const uint8_t> data) {
+  if (tape_ == nullptr) {
+    return FailedPrecondition(name_ + ": no media loaded");
+  }
+  if (position_ + data.size() > tape_->capacity()) {
+    return NoSpace(name_ + ": end of tape");
+  }
+  auto& bytes = tape_->mutable_bytes();
+  // Serpentine media: a write invalidates everything past it.
+  bytes.resize(position_);
+  bytes.insert(bytes.end(), data.begin(), data.end());
+  position_ += data.size();
+  return Status::Ok();
+}
+
+Status TapeDrive::ReadData(std::span<uint8_t> out) {
+  if (tape_ == nullptr) {
+    return FailedPrecondition(name_ + ": no media loaded");
+  }
+  if (position_ + out.size() > tape_->size()) {
+    return Corruption(name_ + ": read past end of recorded data");
+  }
+  std::memcpy(out.data(), tape_->contents().data() + position_, out.size());
+  position_ += out.size();
+  return Status::Ok();
+}
+
+Status TapeDrive::SeekTo(uint64_t offset) {
+  if (tape_ == nullptr) {
+    return FailedPrecondition(name_ + ": no media loaded");
+  }
+  if (offset > tape_->size()) {
+    return InvalidArgument(name_ + ": seek past end of data");
+  }
+  position_ = offset;
+  return Status::Ok();
+}
+
+SimDuration TapeDrive::TransferTime(uint64_t nbytes) const {
+  const double seconds =
+      static_cast<double>(nbytes) / (timing_.stream_mb_per_s * 1e6);
+  return SecondsToSim(seconds);
+}
+
+Task TapeDrive::TimedWrite(std::span<const uint8_t> data, Status* status) {
+  co_await unit_.Acquire();
+  SimDuration t = TransferTime(data.size());
+  if (streaming_until_ >= 0 &&
+      env_->now() > streaming_until_ + timing_.stream_tolerance) {
+    t += timing_.reposition_penalty;
+    ++repositions_;
+  }
+  co_await env_->Delay(t);
+  *status = WriteData(data);
+  if (status->ok()) {
+    bytes_transferred_ += data.size();
+  }
+  streaming_until_ = env_->now();
+  unit_.Release();
+}
+
+Task TapeDrive::TimedRead(std::span<uint8_t> out, Status* status) {
+  co_await unit_.Acquire();
+  SimDuration t = TransferTime(out.size());
+  if (streaming_until_ >= 0 &&
+      env_->now() > streaming_until_ + timing_.stream_tolerance) {
+    t += timing_.reposition_penalty;
+    ++repositions_;
+  }
+  co_await env_->Delay(t);
+  *status = ReadData(out);
+  if (status->ok()) {
+    bytes_transferred_ += out.size();
+  }
+  streaming_until_ = env_->now();
+  unit_.Release();
+}
+
+}  // namespace bkup

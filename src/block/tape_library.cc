@@ -1,0 +1,47 @@
+#include "src/block/tape_library.h"
+
+namespace bkup {
+
+TapeLibrary::TapeLibrary(std::string name, uint64_t tape_capacity,
+                         size_t num_slots)
+    : name_(std::move(name)), tape_capacity_(tape_capacity) {
+  slots_.reserve(num_slots);
+  for (size_t i = 0; i < num_slots; ++i) {
+    slots_.push_back(
+        std::make_unique<Tape>(name_ + "." + std::to_string(i), tape_capacity));
+  }
+}
+
+Tape* TapeLibrary::TapeInSlot(size_t slot) {
+  if (slot >= slots_.size()) {
+    return nullptr;
+  }
+  return slots_[slot].get();
+}
+
+Result<size_t> TapeLibrary::SlotOfLabel(const std::string& label) const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i]->label() == label) {
+      return i;
+    }
+  }
+  return NotFound("no tape labelled '" + label + "'");
+}
+
+Status TapeLibrary::LoadSlot(TapeDrive* drive, size_t slot) {
+  if (slot >= slots_.size()) {
+    return InvalidArgument(name_ + ": no such slot");
+  }
+  if (drive->loaded()) {
+    drive->UnloadMedia();
+  }
+  drive->LoadMedia(slots_[slot].get());
+  return Status::Ok();
+}
+
+size_t TapeLibrary::AddBlankTape(const std::string& label) {
+  slots_.push_back(std::make_unique<Tape>(label, tape_capacity_));
+  return slots_.size() - 1;
+}
+
+}  // namespace bkup

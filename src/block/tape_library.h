@@ -1,0 +1,41 @@
+// A tape stacker: a pool of media plus the drive it feeds. Multi-tape dumps
+// span media through the library (the paper's Breece-Hill stackers).
+#ifndef BKUP_BLOCK_TAPE_LIBRARY_H_
+#define BKUP_BLOCK_TAPE_LIBRARY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/block/tape.h"
+#include "src/util/status.h"
+
+namespace bkup {
+
+class TapeLibrary {
+ public:
+  TapeLibrary(std::string name, uint64_t tape_capacity, size_t num_slots);
+
+  const std::string& name() const { return name_; }
+  size_t num_slots() const { return slots_.size(); }
+
+  // Slot access; tapes keep their identity while moving through drives.
+  Tape* TapeInSlot(size_t slot);
+  Result<size_t> SlotOfLabel(const std::string& label) const;
+
+  // Swaps the drive's current media (if any) back and loads `slot`.
+  // Instantaneous variant for tests; jobs use the drive's timed load.
+  Status LoadSlot(TapeDrive* drive, size_t slot);
+
+  // Appends a fresh blank tape and returns its slot.
+  size_t AddBlankTape(const std::string& label);
+
+ private:
+  std::string name_;
+  uint64_t tape_capacity_;
+  std::vector<std::unique_ptr<Tape>> slots_;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_BLOCK_TAPE_LIBRARY_H_

@@ -1,0 +1,160 @@
+#include "src/dump/catalog.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/fs/reader.h"
+
+namespace bkup {
+
+void RestoreCatalog::AddDirectory(Inum inum, const DumpInodeAttrs& attrs,
+                                  std::vector<DirEntry> entries) {
+  DirInfo info;
+  info.attrs = attrs;
+  info.entries = std::move(entries);
+  dirs_[inum] = std::move(info);
+  finalized_ = false;
+}
+
+Status RestoreCatalog::Finalize() {
+  links_.clear();
+  for (const auto& [dir, info] : dirs_) {
+    for (const DirEntry& e : info.entries) {
+      links_[e.inum].emplace_back(dir, e.name);
+    }
+  }
+  // The root is the directory that no other directory references.
+  root_ = kInvalidInum;
+  for (const auto& [dir, info] : dirs_) {
+    if (links_.count(dir) == 0) {
+      if (root_ != kInvalidInum) {
+        return Corruption("catalog has multiple roots");
+      }
+      root_ = dir;
+    }
+  }
+  if (root_ == kInvalidInum && !dirs_.empty()) {
+    return Corruption("catalog has no root (directory cycle?)");
+  }
+  finalized_ = true;
+  return Status::Ok();
+}
+
+Result<DumpInodeAttrs> RestoreCatalog::DirAttrs(Inum inum) const {
+  auto it = dirs_.find(inum);
+  if (it == dirs_.end()) {
+    return NotFound("directory not in catalog");
+  }
+  return it->second.attrs;
+}
+
+Result<std::vector<DirEntry>> RestoreCatalog::DirEntries(Inum inum) const {
+  auto it = dirs_.find(inum);
+  if (it == dirs_.end()) {
+    return NotFound("directory not in catalog");
+  }
+  return it->second.entries;
+}
+
+Result<Inum> RestoreCatalog::Namei(const std::string& path) const {
+  if (!finalized_) {
+    return FailedPrecondition("catalog not finalized");
+  }
+  BKUP_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  Inum current = root_;
+  for (const std::string& part : parts) {
+    auto it = dirs_.find(current);
+    if (it == dirs_.end()) {
+      return NotFound("'" + part + "': parent directory not on this tape");
+    }
+    const auto& entries = it->second.entries;
+    const auto e =
+        std::find_if(entries.begin(), entries.end(),
+                     [&part](const DirEntry& d) { return d.name == part; });
+    if (e == entries.end()) {
+      return NotFound("'" + part + "' not found on this tape");
+    }
+    current = e->inum;
+  }
+  return current;
+}
+
+std::string RestoreCatalog::PathOfDir(Inum inum) const {
+  if (inum == root_) {
+    return "/";
+  }
+  auto it = links_.find(inum);
+  if (it == links_.end() || it->second.empty()) {
+    return "";
+  }
+  const auto& [parent, name] = it->second.front();
+  const std::string prefix = PathOfDir(parent);
+  if (prefix.empty()) {
+    return "";
+  }
+  return prefix == "/" ? "/" + name : prefix + "/" + name;
+}
+
+std::vector<std::string> RestoreCatalog::PathsOf(Inum inum) const {
+  std::vector<std::string> out;
+  if (inum == root_) {
+    out.push_back("/");
+    return out;
+  }
+  auto it = links_.find(inum);
+  if (it == links_.end()) {
+    return out;
+  }
+  for (const auto& [parent, name] : it->second) {
+    const std::string prefix = PathOfDir(parent);
+    if (prefix.empty()) {
+      continue;
+    }
+    out.push_back(prefix == "/" ? "/" + name : prefix + "/" + name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Inum> RestoreCatalog::Descendants(Inum inum) const {
+  std::vector<Inum> out;
+  std::deque<Inum> queue{inum};
+  while (!queue.empty()) {
+    const Inum cur = queue.front();
+    queue.pop_front();
+    out.push_back(cur);
+    auto it = dirs_.find(cur);
+    if (it == dirs_.end()) {
+      continue;
+    }
+    for (const DirEntry& e : it->second.entries) {
+      queue.push_back(e.inum);
+    }
+  }
+  return out;
+}
+
+void RestoreCatalog::ForEachDirTopDown(
+    const std::function<void(Inum, const std::string&)>& fn) const {
+  if (root_ == kInvalidInum) {
+    return;
+  }
+  std::deque<std::pair<Inum, std::string>> queue{{root_, "/"}};
+  while (!queue.empty()) {
+    auto [inum, path] = queue.front();
+    queue.pop_front();
+    fn(inum, path);
+    auto it = dirs_.find(inum);
+    if (it == dirs_.end()) {
+      continue;
+    }
+    for (const DirEntry& e : it->second.entries) {
+      if (e.type == InodeType::kDirectory && dirs_.count(e.inum) != 0) {
+        queue.emplace_back(
+            e.inum, path == "/" ? "/" + e.name : path + "/" + e.name);
+      }
+    }
+  }
+}
+
+}  // namespace bkup

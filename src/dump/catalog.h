@@ -1,0 +1,75 @@
+// The restore catalog: the "desiccated file system" the paper describes.
+//
+// "Restore reads the directories from tape into one large file ... So, when
+// a user asks for a file, it can execute its own namei ... without ever
+// laying this directory structure on the file system."
+//
+// The catalog holds the dumped directories (attributes + entries) keyed by
+// dumped inum, resolves dump-relative paths with its own namei, enumerates
+// hard-link paths, and walks the tree top-down for directory creation.
+#ifndef BKUP_DUMP_CATALOG_H_
+#define BKUP_DUMP_CATALOG_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/dump/format.h"
+#include "src/util/status.h"
+
+namespace bkup {
+
+class RestoreCatalog {
+ public:
+  void AddDirectory(Inum inum, const DumpInodeAttrs& attrs,
+                    std::vector<DirEntry> entries);
+
+  // Must be called after all directories are added; identifies the dump
+  // root (the directory that is nobody's child) and builds parent links.
+  Status Finalize();
+
+  bool finalized() const { return finalized_; }
+  Inum root() const { return root_; }
+  size_t num_directories() const { return dirs_.size(); }
+
+  bool HasDirectory(Inum inum) const { return dirs_.count(inum) != 0; }
+  Result<DumpInodeAttrs> DirAttrs(Inum inum) const;
+  Result<std::vector<DirEntry>> DirEntries(Inum inum) const;
+
+  // Catalog namei: resolves a dump-root-relative path ("/a/b/c"). "/" is the
+  // dump root itself.
+  Result<Inum> Namei(const std::string& path) const;
+
+  // All dump-relative paths referring to `inum` (several for hard links),
+  // in deterministic order. Empty if the inum appears in no dumped
+  // directory.
+  std::vector<std::string> PathsOf(Inum inum) const;
+
+  // The set of inums reachable below `inum` (inclusive), for subtree
+  // selection in partial restores. Non-directory inums yield {inum}.
+  std::vector<Inum> Descendants(Inum inum) const;
+
+  // Visits every catalog directory top-down (parents before children) with
+  // its dump-relative path.
+  void ForEachDirTopDown(
+      const std::function<void(Inum, const std::string&)>& fn) const;
+
+ private:
+  struct DirInfo {
+    DumpInodeAttrs attrs;
+    std::vector<DirEntry> entries;
+  };
+
+  std::string PathOfDir(Inum inum) const;
+
+  std::map<Inum, DirInfo> dirs_;
+  // child inum -> list of (parent dir inum, name); files may have several.
+  std::map<Inum, std::vector<std::pair<Inum, std::string>>> links_;
+  Inum root_ = kInvalidInum;
+  bool finalized_ = false;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_DUMP_CATALOG_H_

@@ -1,0 +1,87 @@
+#include "src/dump/dumpdates.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace bkup {
+
+void DumpDates::Record(const DumpDateEntry& entry) {
+  for (DumpDateEntry& e : entries_) {
+    if (e.volume == entry.volume && e.subtree == entry.subtree &&
+        e.level == entry.level) {
+      e = entry;
+      return;
+    }
+  }
+  entries_.push_back(entry);
+}
+
+Result<DumpDateEntry> DumpDates::BaseFor(const std::string& volume,
+                                         const std::string& subtree,
+                                         int level) const {
+  if (level == 0) {
+    return NotFound("level-0 dumps have no base");
+  }
+  const DumpDateEntry* best = nullptr;
+  for (const DumpDateEntry& e : entries_) {
+    if (e.volume != volume || e.subtree != subtree || e.level >= level) {
+      continue;
+    }
+    if (best == nullptr || e.dump_time > best->dump_time) {
+      best = &e;
+    }
+  }
+  if (best == nullptr) {
+    return NotFound("no lower-level dump recorded for '" + volume + ":" +
+                    subtree + "'");
+  }
+  return *best;
+}
+
+std::string DumpDates::Serialize() const {
+  std::ostringstream out;
+  for (const DumpDateEntry& e : entries_) {
+    out << e.volume << '\t' << e.subtree << '\t' << e.level << '\t'
+        << e.dump_time << '\t' << e.fs_generation << '\t' << e.snapshot_name
+        << '\n';
+  }
+  return out.str();
+}
+
+Result<DumpDates> DumpDates::Deserialize(const std::string& text) {
+  DumpDates db;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    DumpDateEntry e;
+    if (!std::getline(fields, e.volume, '\t') ||
+        !std::getline(fields, e.subtree, '\t')) {
+      return Corruption("malformed dumpdates line: " + line);
+    }
+    std::string level_s, time_s, gen_s;
+    if (!std::getline(fields, level_s, '\t') ||
+        !std::getline(fields, time_s, '\t') ||
+        !std::getline(fields, gen_s, '\t')) {
+      return Corruption("malformed dumpdates line: " + line);
+    }
+    std::getline(fields, e.snapshot_name, '\t');
+    try {
+      e.level = std::stoi(level_s);
+      e.dump_time = std::stoll(time_s);
+      e.fs_generation = std::stoull(gen_s);
+    } catch (...) {
+      return Corruption("malformed dumpdates numbers: " + line);
+    }
+    if (e.level < 0 || e.level > kMaxDumpLevel) {
+      return Corruption("dump level out of range: " + line);
+    }
+    db.entries_.push_back(std::move(e));
+  }
+  return db;
+}
+
+}  // namespace bkup

@@ -1,0 +1,51 @@
+// The dumpdates database: which (volume, subtree, level) was dumped when.
+// The moral equivalent of BSD's /etc/dumpdates, used to pick an incremental
+// dump's base: "the incremental dump backs up a file if it has changed since
+// the previously recorded backup — the incremental's base. A standard dump
+// incremental scheme begins at level 0 and extends to level 9."
+#ifndef BKUP_DUMP_DUMPDATES_H_
+#define BKUP_DUMP_DUMPDATES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace bkup {
+
+inline constexpr int kMaxDumpLevel = 9;
+
+struct DumpDateEntry {
+  std::string volume;
+  std::string subtree;
+  int level = 0;
+  int64_t dump_time = 0;
+  uint64_t fs_generation = 0;
+  std::string snapshot_name;  // snapshot the dump was taken from
+};
+
+class DumpDates {
+ public:
+  // Records a completed dump, replacing any previous entry at that level.
+  void Record(const DumpDateEntry& entry);
+
+  // Base for an incremental: the most recent entry at a strictly lower
+  // level. Level-0 dumps have no base. NotFound if no suitable base exists
+  // (the caller must then fall back to a full dump, as dump(8) does).
+  Result<DumpDateEntry> BaseFor(const std::string& volume,
+                                const std::string& subtree, int level) const;
+
+  const std::vector<DumpDateEntry>& entries() const { return entries_; }
+
+  // Text round-trip, in the spirit of /etc/dumpdates.
+  std::string Serialize() const;
+  static Result<DumpDates> Deserialize(const std::string& text);
+
+ private:
+  std::vector<DumpDateEntry> entries_;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_DUMP_DUMPDATES_H_

@@ -1,0 +1,672 @@
+#include "src/dump/logical_restore.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/util/checksum.h"
+
+namespace bkup {
+
+// ------------------------------------------------------- RestoreSymtable ---
+
+Result<std::string> RestoreSymtable::PathOf(Inum dumped_inum) const {
+  auto it = paths_.find(dumped_inum);
+  if (it == paths_.end()) {
+    return NotFound("inum not in restore symtable");
+  }
+  return it->second;
+}
+
+void RestoreSymtable::RenamePrefix(const std::string& old_prefix,
+                                   const std::string& new_prefix) {
+  for (auto& [inum, path] : paths_) {
+    if (path.size() >= old_prefix.size() &&
+        path.compare(0, old_prefix.size(), old_prefix) == 0) {
+      path = new_prefix + path.substr(old_prefix.size());
+    }
+  }
+}
+
+std::vector<std::pair<Inum, std::string>> RestoreSymtable::DropMissing(
+    const Bitmap& used) {
+  std::vector<std::pair<Inum, std::string>> dropped;
+  for (auto it = paths_.begin(); it != paths_.end();) {
+    if (it->first < used.size() && used.Test(it->first)) {
+      ++it;
+    } else {
+      dropped.emplace_back(it->first, it->second);
+      it = paths_.erase(it);
+    }
+  }
+  return dropped;
+}
+
+std::string RestoreSymtable::Serialize() const {
+  std::ostringstream out;
+  for (const auto& [inum, path] : paths_) {
+    out << inum << '\t' << path << '\n';
+  }
+  return out.str();
+}
+
+Result<RestoreSymtable> RestoreSymtable::Deserialize(const std::string& text) {
+  RestoreSymtable table;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Corruption("malformed symtable line: " + line);
+    }
+    try {
+      table.Set(static_cast<Inum>(std::stoul(line.substr(0, tab))),
+                line.substr(tab + 1));
+    } catch (...) {
+      return Corruption("malformed symtable inum: " + line);
+    }
+  }
+  return table;
+}
+
+// ------------------------------------------------------------- internals ---
+
+namespace {
+
+// Joins the restore target directory with a dump-root-relative path.
+std::string JoinTarget(const std::string& target, const std::string& rel) {
+  if (rel == "/") {
+    return target;
+  }
+  if (target == "/") {
+    return rel;
+  }
+  return target + rel;
+}
+
+// Recursively removes a path (file, symlink, or directory tree).
+Status RecursiveDelete(Filesystem* fs, const std::string& path,
+                       uint32_t* deleted) {
+  BKUP_ASSIGN_OR_RETURN(Inum inum, fs->LookupPath(path));
+  BKUP_ASSIGN_OR_RETURN(InodeData attrs, fs->GetAttr(inum));
+  if (attrs.type != InodeType::kDirectory) {
+    BKUP_RETURN_IF_ERROR(fs->Unlink(path));
+    ++*deleted;
+    return Status::Ok();
+  }
+  BKUP_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, fs->ReadDir(inum));
+  for (const DirEntry& e : entries) {
+    BKUP_RETURN_IF_ERROR(
+        RecursiveDelete(fs, path + "/" + e.name, deleted));
+  }
+  BKUP_RETURN_IF_ERROR(fs->Rmdir(path));
+  ++*deleted;
+  return Status::Ok();
+}
+
+size_t PathDepth(const std::string& path) {
+  size_t n = 0;
+  for (char c : path) {
+    n += c == '/' ? 1 : 0;
+  }
+  return n;
+}
+
+class RestoreRun {
+ public:
+  RestoreRun(Filesystem* fs, std::span<const uint8_t> stream,
+             const LogicalRestoreOptions& options)
+      : fs_(fs), stream_(stream), opt_(options) {}
+
+  Result<LogicalRestoreOutput> Run();
+
+ private:
+  IoEvent& Event(JobPhase phase) {
+    out_.trace.events.emplace_back();
+    out_.trace.events.back().phase = phase;
+    out_.trace.events.back().stream_end = pos_;
+    return out_.trace.events.back();
+  }
+
+  // Parses the record at pos_, resynchronizing on corruption by scanning
+  // forward at 1 KB boundaries. Returns NotFound at end of stream.
+  Result<DumpRecord> NextRecord();
+
+  Status ReadMaps();
+  Status HandleDirectory(const DumpRecord& rec);
+  Status FinishDirectoryStage();
+  Status ComputeSelection();
+  Status ApplyMoves();
+  Status CreateDirectories();
+  Status ApplyDeletes();
+  Status HandleFileRecord(const DumpRecord& rec);
+  Status FinalizeOpenFile();
+  Status FinalPass();
+
+  Filesystem* fs_;
+  std::span<const uint8_t> stream_;
+  const LogicalRestoreOptions& opt_;
+  LogicalRestoreOutput out_;
+  uint64_t pos_ = 0;
+
+  RestoreCatalog catalog_;
+  Bitmap used_;
+  Bitmap dumped_;
+  bool dirs_done_ = false;
+
+  bool restore_all_ = true;
+  std::set<Inum> wanted_;
+
+  std::map<Inum, Inum> inum_map_;  // dumped inum -> target fs inum
+  std::map<Inum, std::string> fs_path_of_;  // dumped inum -> primary fs path
+
+  // Directory attribute fixups for the final pass.
+  std::vector<std::pair<std::string, DumpInodeAttrs>> dir_fixups_;
+
+  bool stream_exhausted_ = false;
+
+  // Currently-open file being filled from kInode/kAddr records.
+  Inum open_dumped_ = kInvalidInum;
+  Inum open_fs_ = kInvalidInum;
+  DumpInodeAttrs open_attrs_;
+  bool open_valid_ = false;
+};
+
+Result<DumpRecord> RestoreRun::NextRecord() {
+  bool corrupt_seen = false;
+  while (pos_ + kDumpRecordSize <= stream_.size()) {
+    Result<DumpRecord> rec =
+        DumpRecord::Parse(stream_.subspan(pos_, kDumpRecordSize));
+    if (rec.ok()) {
+      if (corrupt_seen) {
+        out_.stats.corrupt_records_skipped++;
+      }
+      pos_ += kDumpRecordSize;
+      return rec;
+    }
+    // Resynchronize at the next tape block — "a minor tape corruption will
+    // usually affect only that single file".
+    corrupt_seen = true;
+    pos_ += kDumpRecordSize;
+  }
+  if (corrupt_seen) {
+    out_.stats.corrupt_records_skipped++;
+  }
+  return NotFound("end of stream");
+}
+
+Status RestoreRun::ReadMaps() {
+  for (const DumpRecordType expected :
+       {DumpRecordType::kUsedMap, DumpRecordType::kDumpedMap}) {
+    BKUP_ASSIGN_OR_RETURN(DumpRecord rec, NextRecord());
+    if (rec.type != expected) {
+      return Corruption("expected inode map record");
+    }
+    if (pos_ + rec.map_bytes > stream_.size()) {
+      return Corruption("inode map truncated");
+    }
+    Bitmap map = Bitmap::Deserialize(stream_.subspan(pos_, rec.map_bytes),
+                                     rec.map_inode_count);
+    pos_ += rec.map_bytes;
+    if (expected == DumpRecordType::kUsedMap) {
+      used_ = std::move(map);
+    } else {
+      dumped_ = std::move(map);
+    }
+  }
+  IoEvent& event = Event(JobPhase::kCreateFiles);
+  event.cpu.push_back({CpuCost::kHeaderFormat, 2});
+  return Status::Ok();
+}
+
+Status RestoreRun::HandleDirectory(const DumpRecord& rec) {
+  const uint64_t padded =
+      static_cast<uint64_t>(rec.present_count) * kDumpRecordSize;
+  if (pos_ + padded > stream_.size() || rec.payload_bytes > padded) {
+    return Corruption("directory payload truncated");
+  }
+  const auto payload = stream_.subspan(pos_, rec.payload_bytes);
+  pos_ += padded;
+  if (Crc32c(payload) != rec.data_crc) {
+    out_.stats.corrupt_records_skipped++;
+    return Status::Ok();  // this directory is lost; restore continues
+  }
+  BKUP_ASSIGN_OR_RETURN(std::vector<DirEntry> entries,
+                        DecodeDumpDirectory(payload));
+  IoEvent& event = Event(JobPhase::kCreateFiles);
+  event.cpu.push_back({CpuCost::kDirEntry, entries.size()});
+  catalog_.AddDirectory(rec.inum, rec.attrs, std::move(entries));
+  return Status::Ok();
+}
+
+Status RestoreRun::ComputeSelection() {
+  restore_all_ = opt_.select.empty();
+  if (restore_all_) {
+    return Status::Ok();
+  }
+  for (const std::string& sel : opt_.select) {
+    BKUP_ASSIGN_OR_RETURN(Inum inum, catalog_.Namei(sel));
+    for (Inum d : catalog_.Descendants(inum)) {
+      wanted_.insert(d);
+    }
+    // Ancestor directories are needed to hold the restored files.
+    std::string prefix = "/";
+    BKUP_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(sel));
+    wanted_.insert(catalog_.root());
+    Inum cur = catalog_.root();
+    for (size_t i = 0; i + 1 < parts.size(); ++i) {
+      BKUP_ASSIGN_OR_RETURN(std::vector<DirEntry> entries,
+                            catalog_.DirEntries(cur));
+      const auto it = std::find_if(
+          entries.begin(), entries.end(),
+          [&](const DirEntry& e) { return e.name == parts[i]; });
+      if (it == entries.end()) {
+        return NotFound("selection ancestor missing from catalog");
+      }
+      cur = it->inum;
+      wanted_.insert(cur);
+    }
+    (void)prefix;
+  }
+  return Status::Ok();
+}
+
+Status RestoreRun::ApplyMoves() {
+  if (!opt_.apply_moves_and_deletes || opt_.symtable == nullptr) {
+    return Status::Ok();
+  }
+  RestoreSymtable* sym = opt_.symtable;
+  Status failure = Status::Ok();
+  catalog_.ForEachDirTopDown([&](Inum dir, const std::string& dir_path) {
+    if (!failure.ok()) {
+      return;
+    }
+    auto entries = catalog_.DirEntries(dir);
+    if (!entries.ok()) {
+      return;
+    }
+    for (const DirEntry& e : *entries) {
+      if (!sym->Has(e.inum)) {
+        continue;
+      }
+      const std::string rel =
+          dir_path == "/" ? "/" + e.name : dir_path + "/" + e.name;
+      const std::string new_path = JoinTarget(opt_.target_dir, rel);
+      const std::string old_path = sym->PathOf(e.inum).value();
+      if (old_path == new_path) {
+        continue;
+      }
+      if (!fs_->LookupPath(old_path).ok() || fs_->LookupPath(new_path).ok()) {
+        continue;
+      }
+      if (e.type == InodeType::kDirectory) {
+        Status st = fs_->Rename(old_path, new_path);
+        if (!st.ok()) {
+          failure = st;
+          return;
+        }
+        sym->RenamePrefix(old_path + "/", new_path + "/");
+        sym->Set(e.inum, new_path);
+        out_.stats.dirs_renamed++;
+      } else {
+        Status st = fs_->Link(old_path, new_path);
+        if (!st.ok()) {
+          failure = st;
+          return;
+        }
+        sym->Set(e.inum, new_path);
+      }
+      IoEvent& event = Event(JobPhase::kCreateFiles);
+      event.cpu.push_back({CpuCost::kRestoreCreate, 1});
+      event.nvram_bytes += 64;
+    }
+  });
+  return failure;
+}
+
+Status RestoreRun::CreateDirectories() {
+  Status failure = Status::Ok();
+  catalog_.ForEachDirTopDown([&](Inum dir, const std::string& dir_path) {
+    if (!failure.ok()) {
+      return;
+    }
+    if (!restore_all_ && wanted_.count(dir) == 0) {
+      return;
+    }
+    auto attrs = catalog_.DirAttrs(dir);
+    if (!attrs.ok()) {
+      return;
+    }
+    const std::string fs_path = JoinTarget(opt_.target_dir, dir_path);
+    IoEvent& event = Event(JobPhase::kCreateFiles);
+    event.cpu.push_back({CpuCost::kRestoreCreate, 1});
+    if (opt_.mode == LogicalRestoreOptions::Mode::kPortable) {
+      event.cpu.push_back({CpuCost::kPathLookup, PathDepth(fs_path)});
+    }
+
+    Result<Inum> existing = fs_->LookupPath(fs_path);
+    Inum fs_inum;
+    if (existing.ok()) {
+      fs_inum = *existing;
+    } else {
+      // Kernel mode sets the real permissions at creation; portable mode
+      // creates writable and fixes permissions in the final pass.
+      const uint16_t mode =
+          opt_.mode == LogicalRestoreOptions::Mode::kKernel ? attrs->mode
+                                                            : 0700;
+      Result<Inum> created = fs_->Mkdir(fs_path, mode);
+      if (!created.ok()) {
+        failure = created.status();
+        return;
+      }
+      fs_inum = *created;
+      out_.stats.dirs_created++;
+      event.nvram_bytes += 64;
+      event.blocks_written += 1;
+    }
+    inum_map_[dir] = fs_inum;
+    fs_path_of_[dir] = fs_path;
+    if (opt_.symtable != nullptr) {
+      opt_.symtable->Set(dir, fs_path);
+    }
+    dir_fixups_.emplace_back(fs_path, *attrs);
+  });
+  return failure;
+}
+
+Status RestoreRun::ApplyDeletes() {
+  if (!opt_.apply_moves_and_deletes) {
+    return Status::Ok();
+  }
+  Status failure = Status::Ok();
+  catalog_.ForEachDirTopDown([&](Inum dir, const std::string& dir_path) {
+    if (!failure.ok()) {
+      return;
+    }
+    auto entries = catalog_.DirEntries(dir);
+    if (!entries.ok()) {
+      return;
+    }
+    const std::string fs_path = JoinTarget(opt_.target_dir, dir_path);
+    Result<Inum> fs_dir = fs_->LookupPath(fs_path);
+    if (!fs_dir.ok()) {
+      return;
+    }
+    auto fs_entries = fs_->ReadDir(*fs_dir);
+    if (!fs_entries.ok()) {
+      return;
+    }
+    std::set<std::string> keep;
+    for (const DirEntry& e : *entries) {
+      keep.insert(e.name);
+    }
+    for (const DirEntry& fe : *fs_entries) {
+      if (keep.count(fe.name) != 0) {
+        continue;
+      }
+      const std::string victim = fs_path == "/" ? "/" + fe.name
+                                                : fs_path + "/" + fe.name;
+      Status st = RecursiveDelete(fs_, victim, &out_.stats.files_deleted);
+      if (!st.ok()) {
+        failure = st;
+        return;
+      }
+      IoEvent& event = Event(JobPhase::kCreateFiles);
+      event.cpu.push_back({CpuCost::kRestoreCreate, 1});
+      event.nvram_bytes += 64;
+    }
+  });
+  if (!failure.ok()) {
+    return failure;
+  }
+  // Clean the symtable of anything the dump says no longer exists.
+  if (opt_.symtable != nullptr && used_.size() > 0) {
+    opt_.symtable->DropMissing(used_);
+  }
+  return Status::Ok();
+}
+
+Status RestoreRun::FinishDirectoryStage() {
+  if (dirs_done_) {
+    return Status::Ok();
+  }
+  dirs_done_ = true;
+  BKUP_RETURN_IF_ERROR(catalog_.Finalize());
+  BKUP_RETURN_IF_ERROR(ComputeSelection());
+  BKUP_RETURN_IF_ERROR(ApplyMoves());
+  BKUP_RETURN_IF_ERROR(CreateDirectories());
+  return ApplyDeletes();
+}
+
+Status RestoreRun::FinalizeOpenFile() {
+  if (!open_valid_) {
+    return Status::Ok();
+  }
+  open_valid_ = false;
+  BKUP_RETURN_IF_ERROR(fs_->Truncate(open_fs_, open_attrs_.size));
+  SetAttrRequest req;
+  req.mode = open_attrs_.mode;
+  req.uid = open_attrs_.uid;
+  req.gid = open_attrs_.gid;
+  req.mtime = open_attrs_.mtime;
+  req.atime = open_attrs_.atime;
+  return fs_->SetAttr(open_fs_, req);
+}
+
+Status RestoreRun::HandleFileRecord(const DumpRecord& rec) {
+  BKUP_RETURN_IF_ERROR(FinishDirectoryStage());
+
+  const uint64_t data_bytes =
+      static_cast<uint64_t>(rec.present_count) * kBlockSize;
+  if (pos_ + data_bytes > stream_.size()) {
+    // Ran off a truncated tape mid-file: salvage everything restored so
+    // far and stop consuming records.
+    pos_ = stream_.size();
+    out_.stats.corrupt_records_skipped++;
+    out_.stats.files_lost_to_corruption++;
+    stream_exhausted_ = true;
+    return Status::Ok();
+  }
+  const auto data = stream_.subspan(pos_, data_bytes);
+  pos_ += data_bytes;
+
+  if (rec.type == DumpRecordType::kInode) {
+    BKUP_RETURN_IF_ERROR(FinalizeOpenFile());
+    open_dumped_ = rec.inum;
+    open_attrs_ = rec.attrs;
+
+    const bool wanted = restore_all_ || wanted_.count(rec.inum) != 0;
+    if (!wanted) {
+      return Status::Ok();  // open_valid_ stays false; kAddr data skipped
+    }
+    std::vector<std::string> rel_paths = catalog_.PathsOf(rec.inum);
+    if (!restore_all_) {
+      // Keep only the selected link names.
+      std::vector<std::string> filtered;
+      for (const std::string& rel : rel_paths) {
+        // A path is selected if some selected inum is one of its ancestors;
+        // the wanted_ set already captures that via Descendants, so keep
+        // paths whose parent dir is wanted.
+        filtered.push_back(rel);
+      }
+      rel_paths = std::move(filtered);
+    }
+    if (rel_paths.empty()) {
+      // Unreferenced inode (its directory record was lost to corruption).
+      out_.stats.files_lost_to_corruption++;
+      return Status::Ok();
+    }
+
+    if (Crc32c(data) != rec.data_crc) {
+      out_.stats.corrupt_records_skipped++;
+      out_.stats.files_lost_to_corruption++;
+      return Status::Ok();
+    }
+
+    const std::string fs_path = JoinTarget(opt_.target_dir, rel_paths[0]);
+    IoEvent& event = Event(JobPhase::kCreateFiles);
+    event.cpu.push_back({CpuCost::kRestoreCreate, 1});
+    if (opt_.mode == LogicalRestoreOptions::Mode::kPortable) {
+      event.cpu.push_back({CpuCost::kPathLookup, PathDepth(fs_path)});
+    }
+
+    if (fs_->LookupPath(fs_path).ok()) {
+      uint32_t deleted = 0;
+      BKUP_RETURN_IF_ERROR(RecursiveDelete(fs_, fs_path, &deleted));
+    }
+    // A symlink whose target was too long for the header arrives with an
+    // empty target string; its data blocks (following) carry the content.
+    Result<Inum> created =
+        rec.attrs.type == InodeType::kSymlink
+            ? fs_->SymlinkAt(rec.symlink_target, fs_path)
+            : fs_->Create(fs_path, rec.attrs.mode);
+    BKUP_RETURN_IF_ERROR(created.status());
+    open_fs_ = *created;
+    open_valid_ = true;
+    event.nvram_bytes += 64;
+    if (rec.attrs.type == InodeType::kSymlink) {
+      out_.stats.symlinks_restored++;
+    } else {
+      out_.stats.files_restored++;
+    }
+    inum_map_[rec.inum] = open_fs_;
+    fs_path_of_[rec.inum] = fs_path;
+    if (opt_.symtable != nullptr) {
+      opt_.symtable->Set(rec.inum, fs_path);
+    }
+    // Additional hard links.
+    for (size_t i = 1; i < rel_paths.size(); ++i) {
+      const std::string link_path =
+          JoinTarget(opt_.target_dir, rel_paths[i]);
+      if (fs_->LookupPath(link_path).ok()) {
+        uint32_t deleted = 0;
+        BKUP_RETURN_IF_ERROR(RecursiveDelete(fs_, link_path, &deleted));
+      }
+      BKUP_RETURN_IF_ERROR(fs_->Link(fs_path, link_path));
+      out_.stats.hard_links_restored++;
+      event.nvram_bytes += 64;
+    }
+  } else {  // kAddr continuation
+    if (!open_valid_ || rec.inum != open_dumped_) {
+      return Status::Ok();  // continuation of a skipped or corrupt file
+    }
+    if (Crc32c(data) != rec.data_crc) {
+      out_.stats.corrupt_records_skipped++;
+      out_.stats.files_lost_to_corruption++;
+      open_valid_ = false;
+      return Status::Ok();
+    }
+  }
+
+  if (!open_valid_) {
+    return Status::Ok();
+  }
+
+  // Lay the present blocks into the file at their hole-aware offsets.
+  IoEvent& event = Event(JobPhase::kFillData);
+  uint64_t consumed = 0;
+  for (uint32_t i = 0; i < rec.map_count; ++i) {
+    if (!rec.BlockPresent(i)) {
+      continue;
+    }
+    const uint64_t offset = (rec.first_fbn + i) * kBlockSize;
+    BKUP_RETURN_IF_ERROR(
+        fs_->Write(open_fs_, offset, data.subspan(consumed, kBlockSize)));
+    consumed += kBlockSize;
+  }
+  event.stream_end = pos_;
+  event.blocks_written += rec.present_count;
+  event.nvram_bytes += consumed + 32ull * rec.present_count;
+  event.cpu.push_back({CpuCost::kRestoreLogicalBlock, rec.present_count});
+  out_.stats.data_blocks += rec.present_count;
+  out_.stats.bytes_restored += consumed;
+  return Status::Ok();
+}
+
+Status RestoreRun::FinalPass() {
+  BKUP_RETURN_IF_ERROR(FinalizeOpenFile());
+  BKUP_RETURN_IF_ERROR(FinishDirectoryStage());  // dump with no files at all
+  // "After the directories and files have been written to disk, the system
+  // begins to restore the directories' permissions and times."
+  IoEvent& event = Event(JobPhase::kCreateFiles);
+  for (const auto& [path, attrs] : dir_fixups_) {
+    Result<Inum> inum = fs_->LookupPath(path);
+    if (!inum.ok()) {
+      continue;
+    }
+    SetAttrRequest req;
+    if (opt_.mode == LogicalRestoreOptions::Mode::kPortable) {
+      req.mode = attrs.mode;
+      req.uid = attrs.uid;
+      req.gid = attrs.gid;
+      event.cpu.push_back({CpuCost::kPathLookup, PathDepth(path)});
+    }
+    req.mtime = attrs.mtime;
+    req.atime = attrs.atime;
+    BKUP_RETURN_IF_ERROR(fs_->SetAttr(*inum, req));
+    event.cpu.push_back({CpuCost::kRestoreCreate, 1});
+    event.nvram_bytes += 64;
+  }
+  BKUP_RETURN_IF_ERROR(fs_->ConsistencyPoint().status());
+  return Status::Ok();
+}
+
+Result<LogicalRestoreOutput> RestoreRun::Run() {
+  if (opt_.apply_moves_and_deletes && opt_.symtable == nullptr) {
+    return InvalidArgument(
+        "incremental reconciliation requires a restore symtable");
+  }
+  // Validate the restore target before touching the stream.
+  BKUP_ASSIGN_OR_RETURN(Inum target, fs_->LookupPath(opt_.target_dir));
+  BKUP_ASSIGN_OR_RETURN(InodeData target_attrs, fs_->GetAttr(target));
+  if (target_attrs.type != InodeType::kDirectory) {
+    return NotADirectory("restore target is not a directory");
+  }
+
+  BKUP_ASSIGN_OR_RETURN(DumpRecord header, NextRecord());
+  if (header.type != DumpRecordType::kTapeHeader) {
+    return Corruption("stream does not start with a tape header");
+  }
+  out_.level = header.level;
+  out_.dump_time = header.dump_time;
+  BKUP_RETURN_IF_ERROR(ReadMaps());
+
+  while (true) {
+    Result<DumpRecord> rec = NextRecord();
+    if (!rec.ok()) {
+      break;  // ran off the end: treat like kEnd but count it
+    }
+    if (rec->type == DumpRecordType::kEnd || stream_exhausted_) {
+      break;
+    }
+    switch (rec->type) {
+      case DumpRecordType::kDirectory:
+        BKUP_RETURN_IF_ERROR(HandleDirectory(*rec));
+        break;
+      case DumpRecordType::kInode:
+      case DumpRecordType::kAddr:
+        BKUP_RETURN_IF_ERROR(HandleFileRecord(*rec));
+        break;
+      default:
+        // Unexpected record type mid-stream; skip it.
+        out_.stats.corrupt_records_skipped++;
+        break;
+    }
+  }
+  BKUP_RETURN_IF_ERROR(FinalPass());
+  return std::move(out_);
+}
+
+}  // namespace
+
+Result<LogicalRestoreOutput> RunLogicalRestore(
+    Filesystem* fs, std::span<const uint8_t> stream,
+    const LogicalRestoreOptions& options) {
+  RestoreRun run(fs, stream, options);
+  return run.Run();
+}
+
+}  // namespace bkup

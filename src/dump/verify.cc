@@ -1,0 +1,170 @@
+#include "src/dump/verify.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/bitmap.h"
+#include "src/util/checksum.h"
+
+namespace bkup {
+
+namespace {
+constexpr size_t kMaxReportedMissing = 16;
+}  // namespace
+
+std::string DumpVerifyReport::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s: level %u of '%s': %u dirs, %u files, %llu data blocks; "
+                "%u/%u dumped inodes present; %u corrupt records, %u data "
+                "CRC errors",
+                readable ? "READABLE" : "UNRELIABLE", level,
+                volume_name.c_str(), directories, files,
+                static_cast<unsigned long long>(data_blocks), inodes_seen,
+                inodes_expected, corrupt_records, data_crc_errors);
+  return buf;
+}
+
+Result<DumpVerifyReport> VerifyDumpStream(std::span<const uint8_t> stream) {
+  DumpVerifyReport report;
+  uint64_t pos = 0;
+
+  auto next_record = [&]() -> Result<DumpRecord> {
+    bool corrupt_seen = false;
+    while (pos + kDumpRecordSize <= stream.size()) {
+      Result<DumpRecord> rec =
+          DumpRecord::Parse(stream.subspan(pos, kDumpRecordSize));
+      if (rec.ok()) {
+        if (corrupt_seen) {
+          report.corrupt_records++;
+        }
+        pos += kDumpRecordSize;
+        return rec;
+      }
+      corrupt_seen = true;
+      pos += kDumpRecordSize;
+    }
+    if (corrupt_seen) {
+      report.corrupt_records++;
+    }
+    return NotFound("end of stream");
+  };
+
+  // Tape header.
+  BKUP_ASSIGN_OR_RETURN(DumpRecord header, next_record());
+  if (header.type != DumpRecordType::kTapeHeader) {
+    return Corruption("stream does not start with a tape header");
+  }
+  report.level = header.level;
+  report.dump_time = header.dump_time;
+  report.volume_name = header.volume_name;
+
+  // The two inode maps.
+  Bitmap dumped_map;
+  for (const DumpRecordType expected :
+       {DumpRecordType::kUsedMap, DumpRecordType::kDumpedMap}) {
+    BKUP_ASSIGN_OR_RETURN(DumpRecord rec, next_record());
+    if (rec.type != expected) {
+      return Corruption("missing inode map record");
+    }
+    if (pos + rec.map_bytes > stream.size()) {
+      return Corruption("inode map truncated");
+    }
+    if (expected == DumpRecordType::kDumpedMap) {
+      dumped_map = Bitmap::Deserialize(stream.subspan(pos, rec.map_bytes),
+                                       rec.map_inode_count);
+    }
+    pos += rec.map_bytes;
+  }
+  report.inodes_expected = static_cast<uint32_t>(dumped_map.CountOnes());
+
+  Bitmap seen(dumped_map.size());
+  bool saw_file = false;
+  bool saw_end = false;
+  Inum last_dir = 0;
+  Inum last_file = 0;
+
+  while (true) {
+    Result<DumpRecord> rec = next_record();
+    if (!rec.ok()) {
+      break;  // truncated tape: no end marker
+    }
+    if (rec->type == DumpRecordType::kEnd) {
+      saw_end = true;
+      break;
+    }
+    switch (rec->type) {
+      case DumpRecordType::kDirectory: {
+        const uint64_t padded =
+            static_cast<uint64_t>(rec->present_count) * kDumpRecordSize;
+        if (pos + padded > stream.size() || rec->payload_bytes > padded) {
+          report.corrupt_records++;
+          pos = stream.size();
+          break;
+        }
+        if (Crc32c(stream.subspan(pos, rec->payload_bytes)) !=
+            rec->data_crc) {
+          report.data_crc_errors++;
+        }
+        pos += padded;
+        // "All directories precede all files ... in ascending inode order."
+        if (saw_file || rec->inum < last_dir) {
+          report.out_of_order_records++;
+        }
+        last_dir = rec->inum;
+        report.directories++;
+        if (rec->inum < seen.size()) {
+          seen.Set(rec->inum);
+        }
+        break;
+      }
+      case DumpRecordType::kInode:
+      case DumpRecordType::kAddr: {
+        const uint64_t data_bytes =
+            static_cast<uint64_t>(rec->present_count) * kBlockSize;
+        if (pos + data_bytes > stream.size()) {
+          report.corrupt_records++;
+          pos = stream.size();
+          break;
+        }
+        if (Crc32c(stream.subspan(pos, data_bytes)) != rec->data_crc) {
+          report.data_crc_errors++;
+        }
+        pos += data_bytes;
+        report.data_blocks += rec->present_count;
+        if (rec->type == DumpRecordType::kInode) {
+          if (rec->inum < last_file) {
+            report.out_of_order_records++;
+          }
+          last_file = rec->inum;
+          saw_file = true;
+          report.files++;
+          if (rec->inum < seen.size()) {
+            seen.Set(rec->inum);
+          }
+        }
+        break;
+      }
+      default:
+        report.corrupt_records++;
+        break;
+    }
+  }
+
+  // Which dumped inodes never showed up?
+  dumped_map.ForEachSet([&](size_t inum) {
+    if (!seen.Test(inum) &&
+        report.missing_inodes.size() < kMaxReportedMissing) {
+      report.missing_inodes.push_back(static_cast<Inum>(inum));
+    }
+  });
+  report.inodes_seen = static_cast<uint32_t>(seen.CountOnes());
+
+  report.readable = saw_end && report.corrupt_records == 0 &&
+                    report.data_crc_errors == 0 &&
+                    report.out_of_order_records == 0 &&
+                    report.inodes_seen == report.inodes_expected;
+  return report;
+}
+
+}  // namespace bkup

@@ -1,0 +1,108 @@
+#include "src/fs/blockmap.h"
+
+#include <cstring>
+
+namespace bkup {
+
+void BlockMap::CopyPlane(int src, int dst) {
+  const uint32_t src_mask = 1u << src;
+  const uint32_t dst_mask = 1u << dst;
+  for (uint32_t& w : words_) {
+    if (w & src_mask) {
+      w |= dst_mask;
+    } else {
+      w &= ~dst_mask;
+    }
+  }
+}
+
+void BlockMap::ClearPlane(int plane) {
+  const uint32_t mask = ~(1u << plane);
+  for (uint32_t& w : words_) {
+    w &= mask;
+  }
+}
+
+uint64_t BlockMap::CountPlane(int plane) const {
+  const uint32_t mask = 1u << plane;
+  uint64_t n = 0;
+  for (uint32_t w : words_) {
+    n += (w & mask) ? 1 : 0;
+  }
+  return n;
+}
+
+uint64_t BlockMap::CountFree() const {
+  uint64_t n = 0;
+  for (uint32_t w : words_) {
+    n += w == 0 ? 1 : 0;
+  }
+  return n;
+}
+
+Bitmap BlockMap::ExtractPlane(int plane) const {
+  Bitmap out(num_blocks());
+  const uint32_t mask = 1u << plane;
+  for (Vbn v = 0; v < words_.size(); ++v) {
+    if (words_[v] & mask) {
+      out.Set(v);
+    }
+  }
+  return out;
+}
+
+void BlockMap::RenderFileBlock(uint64_t fbn, Block* out) const {
+  out->Zero();
+  const uint64_t first = fbn * (kBlockSize / 4);
+  const uint64_t count =
+      std::min<uint64_t>(kBlockSize / 4, num_blocks() - first);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint32_t w = words_[first + i];
+    out->data[i * 4 + 0] = static_cast<uint8_t>(w);
+    out->data[i * 4 + 1] = static_cast<uint8_t>(w >> 8);
+    out->data[i * 4 + 2] = static_cast<uint8_t>(w >> 16);
+    out->data[i * 4 + 3] = static_cast<uint8_t>(w >> 24);
+  }
+}
+
+void BlockMap::LoadFileBlock(uint64_t fbn, const Block& block) {
+  const uint64_t first = fbn * (kBlockSize / 4);
+  const uint64_t count =
+      std::min<uint64_t>(kBlockSize / 4, num_blocks() - first);
+  for (uint64_t i = 0; i < count; ++i) {
+    words_[first + i] = static_cast<uint32_t>(block.data[i * 4 + 0]) |
+                        static_cast<uint32_t>(block.data[i * 4 + 1]) << 8 |
+                        static_cast<uint32_t>(block.data[i * 4 + 2]) << 16 |
+                        static_cast<uint32_t>(block.data[i * 4 + 3]) << 24;
+  }
+}
+
+Result<Vbn> WriteAllocator::Allocate() {
+  const uint64_t n = map_->num_blocks();
+  Vbn start = policy_ == Policy::kFirstFit ? kFirstAllocatableVbn
+                                           : write_point_;
+  if (start >= n || start < kFirstAllocatableVbn) {
+    start = kFirstAllocatableVbn;
+  }
+  // Scan forward from the write point, wrapping once.
+  auto take = [this](Vbn v) {
+    map_->Set(kActivePlane, v);
+    if (policy_ == Policy::kWriteAnywhere) {
+      write_point_ = v + 1;
+    }
+    return v;
+  };
+  for (Vbn v = start; v < n; ++v) {
+    if (map_->IsFree(v)) {
+      return take(v);
+    }
+  }
+  for (Vbn v = kFirstAllocatableVbn; v < start; ++v) {
+    if (map_->IsFree(v)) {
+      return take(v);
+    }
+  }
+  return NoSpace("volume full");
+}
+
+}  // namespace bkup

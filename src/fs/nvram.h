@@ -1,0 +1,58 @@
+// NVRAM operation log.
+//
+// As in the paper (§2.2): WAFL does not use NVRAM as a disk cache — it logs
+// incoming operations so that, after a crash, the filer can boot from the
+// most recent consistency point and replay the few seconds of requests that
+// had not reached disk. The log object lives *outside* the Filesystem so a
+// test can destroy the file system ("crash"), remount from the volume, and
+// replay the surviving log.
+#ifndef BKUP_FS_NVRAM_H_
+#define BKUP_FS_NVRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bkup {
+
+class NvramLog {
+ public:
+  explicit NvramLog(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t size_bytes() const { return size_bytes_; }
+  size_t num_records() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  // True if a record of `nbytes` would overflow the log — the file system
+  // reacts by taking a consistency point first.
+  bool WouldOverflow(uint64_t nbytes) const {
+    return size_bytes_ + nbytes > capacity_;
+  }
+
+  void Append(std::vector<uint8_t> record) {
+    size_bytes_ += record.size();
+    records_.push_back(std::move(record));
+  }
+
+  // A consistency point makes everything in the log durable on disk.
+  void Clear() {
+    records_.clear();
+    size_bytes_ = 0;
+  }
+
+  const std::vector<std::vector<uint8_t>>& records() const { return records_; }
+
+  // Simulated NVRAM hardware failure: the log is lost, but — the paper's
+  // point — the on-disk file system stays self-consistent.
+  void FailAndLoseContents() { Clear(); }
+
+ private:
+  uint64_t capacity_;
+  uint64_t size_bytes_ = 0;
+  std::vector<std::vector<uint8_t>> records_;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_FS_NVRAM_H_

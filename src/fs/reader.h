@@ -1,0 +1,77 @@
+// FsReader: a read-only view of an on-disk file system tree, rooted at an
+// inode-file inode. Both snapshots and the post-CP live file system are read
+// this way; logical dump backs up through an FsReader over a snapshot, which
+// is how the paper's dump gets "a completely consistent view of the file
+// system" without taking it off line.
+//
+// Read methods optionally report the vbns they touched so the backup jobs
+// can charge simulated disk time for every on-disk block access.
+#ifndef BKUP_FS_READER_H_
+#define BKUP_FS_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fs/file_tree.h"
+#include "src/fs/layout.h"
+#include "src/raid/volume.h"
+#include "src/util/status.h"
+
+namespace bkup {
+
+class FsReader {
+ public:
+  FsReader(Volume* volume, InodeData inode_file_root, uint32_t max_inodes);
+
+  uint32_t max_inodes() const { return max_inodes_; }
+  Volume* volume() const { return volume_; }
+  const InodeData& inode_file_root() const { return inode_file_root_; }
+
+  // Reads inode `inum` from the inode file. Out-of-range inums and holes in
+  // the inode file read as free inodes.
+  Result<InodeData> ReadInode(Inum inum) const;
+
+  // Reads file block `fbn`; holes fill with zeros. If `vbn_out` is non-null
+  // it receives the on-disk vbn, or 0 for a hole.
+  Status ReadFileBlock(const InodeData& inode, uint64_t fbn, Block* out,
+                       Vbn* vbn_out = nullptr) const;
+
+  // Byte-granular read of [offset, offset+length). Reads past EOF truncate.
+  // If `vbns` is non-null, every on-disk block touched is appended.
+  Status ReadFile(const InodeData& inode, uint64_t offset, uint64_t length,
+                  std::vector<uint8_t>* out,
+                  std::vector<Vbn>* vbns = nullptr) const;
+
+  // Full pointer map of a file (0 == hole), for hole-aware dump writers.
+  Result<std::vector<uint32_t>> PointerMap(const InodeData& inode) const;
+
+  // The vbn of the inode-file block holding `inum` (0 if it is a hole).
+  // Dump's mapping phase charges these reads.
+  Vbn InodeFileVbn(Inum inum) const;
+
+  // Directory contents of `inode` (which must be a directory).
+  Result<std::vector<DirEntry>> ReadDir(const InodeData& inode) const;
+  Result<std::vector<DirEntry>> ReadDirInum(Inum inum) const;
+
+  // Resolves an absolute slash-separated path to an inum.
+  Result<Inum> LookupPath(const std::string& path) const;
+
+ private:
+  Status ReadRaw(Vbn vbn, Block* out) const;
+
+  Volume* volume_;
+  InodeData inode_file_root_;
+  uint32_t max_inodes_;
+  // Pointer map of the inode file itself, loaded lazily on first use.
+  mutable std::vector<uint32_t> inode_file_ptrs_;
+  mutable bool inode_file_ptrs_loaded_ = false;
+};
+
+// Splits "/a/b/c" into {"a","b","c"}; rejects empty components, names longer
+// than kMaxNameLen, and relative paths.
+Result<std::vector<std::string>> SplitPath(const std::string& path);
+
+}  // namespace bkup
+
+#endif  // BKUP_FS_READER_H_

@@ -1,0 +1,64 @@
+#include "src/image/blockset.h"
+
+#include "src/fs/file_tree.h"
+
+namespace bkup {
+
+Result<FsInfo> ReadFsInfoFromVolume(Volume* volume) {
+  Block block;
+  BKUP_RETURN_IF_ERROR(volume->ReadBlock(kFsInfoPrimary, &block));
+  Result<FsInfo> info = FsInfo::DeserializeFromBlock(block);
+  if (info.ok()) {
+    return info;
+  }
+  BKUP_RETURN_IF_ERROR(volume->ReadBlock(kFsInfoBackup, &block));
+  return FsInfo::DeserializeFromBlock(block);
+}
+
+Result<BlockMap> LoadBlockMapFromVolume(Volume* volume, const FsInfo& fsinfo,
+                                        std::vector<Vbn>* reads) {
+  BlockMap map(fsinfo.volume_blocks);
+  auto read = [volume, reads](Vbn v, Block* b) {
+    if (reads != nullptr) {
+      reads->push_back(v);
+    }
+    return volume->ReadBlock(v, b);
+  };
+  std::vector<uint32_t> ptrs;
+  BKUP_RETURN_IF_ERROR(LoadPointerMap(read, fsinfo.blockmap_file, &ptrs));
+  Block block;
+  for (uint64_t fbn = 0; fbn < ptrs.size(); ++fbn) {
+    if (ptrs[fbn] == 0) {
+      return Corruption("block-map file has a hole");
+    }
+    BKUP_RETURN_IF_ERROR(read(ptrs[fbn], &block));
+    map.LoadFileBlock(fbn, block);
+  }
+  return map;
+}
+
+Bitmap ComputeImageBlockSet(const BlockMap& map,
+                            std::optional<int> base_plane) {
+  Bitmap set(map.num_blocks());
+  for (Vbn v = 0; v < map.num_blocks(); ++v) {
+    if (map.word(v) == 0) {
+      continue;  // free everywhere: never dumped
+    }
+    if (base_plane.has_value() && map.Test(*base_plane, v)) {
+      continue;  // the base snapshot already has this block
+    }
+    set.Set(v);
+  }
+  return set;
+}
+
+Result<int> SnapshotPlaneOf(const FsInfo& fsinfo, const std::string& name) {
+  for (const SnapshotInfo& s : fsinfo.snapshots) {
+    if (s.name == name) {
+      return static_cast<int>(s.plane);
+    }
+  }
+  return NotFound("no snapshot named '" + name + "' in the fsinfo table");
+}
+
+}  // namespace bkup

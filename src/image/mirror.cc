@@ -1,0 +1,36 @@
+#include "src/image/mirror.h"
+
+namespace bkup {
+
+Result<uint64_t> VolumeMirror::Sync() {
+  const std::string new_snap = "mirror." + std::to_string(syncs_ + 1);
+  BKUP_RETURN_IF_ERROR(source_->CreateSnapshot(new_snap));
+
+  ImageDumpOptions opt;
+  opt.snapshot_name = new_snap;
+  opt.dump_time = source_->env()->now();
+  opt.base_snapshot = last_snap_;  // empty on the first sync: full image
+  Result<ImageDumpOutput> dump = RunImageDump(source_->volume(), opt);
+  if (!dump.ok()) {
+    // Leave the source as we found it.
+    (void)source_->DeleteSnapshot(new_snap);
+    return dump.status();
+  }
+
+  Result<ImageRestoreOutput> restored =
+      RunImageRestore(mirror_, dump->stream);
+  if (!restored.ok()) {
+    (void)source_->DeleteSnapshot(new_snap);
+    return restored.status();
+  }
+
+  // The transfer is durable; retire the previous transfer snapshot.
+  if (!last_snap_.empty()) {
+    BKUP_RETURN_IF_ERROR(source_->DeleteSnapshot(last_snap_));
+  }
+  last_snap_ = new_snap;
+  ++syncs_;
+  return dump->stats.stream_bytes;
+}
+
+}  // namespace bkup

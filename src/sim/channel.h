@@ -1,0 +1,152 @@
+// Bounded single-threaded producer/consumer channel for coroutine pipelines.
+//
+// Backup jobs are modeled as a reader process and a writer process joined by
+// a Channel — exactly the structure of WAFL's dump path (file system reads
+// feeding a tape stream through a bounded buffer pool). The channel bound is
+// the buffer pool size; when the tape is the bottleneck the channel fills and
+// the reader blocks, and vice versa, so bottleneck shifts emerge naturally.
+#ifndef BKUP_SIM_CHANNEL_H_
+#define BKUP_SIM_CHANNEL_H_
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "src/sim/environment.h"
+
+namespace bkup {
+
+template <typename T>
+class Channel {
+ public:
+  Channel(SimEnvironment* env, size_t capacity)
+      : env_(env), capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  size_t size() const { return buffer_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool closed() const { return closed_; }
+
+  // Awaitable send. Sending on a closed channel is a programming error.
+  //   co_await ch.Send(std::move(chunk));
+  auto Send(T value) { return SendAwaiter(this, std::move(value)); }
+
+  // Awaitable receive; yields std::nullopt once the channel is closed and
+  // drained.
+  //   std::optional<Chunk> c = co_await ch.Recv();
+  auto Recv() { return RecvAwaiter(this); }
+
+  // Marks end-of-stream and wakes all parked receivers.
+  void Close() {
+    assert(!closed_);
+    closed_ = true;
+    assert(parked_senders_.empty() && "senders blocked at close");
+    while (!parked_receivers_.empty()) {
+      RecvAwaiter* r = parked_receivers_.front();
+      parked_receivers_.pop_front();
+      r->result.reset();
+      r->have_result = true;
+      env_->ScheduleNow(r->handle);
+    }
+  }
+
+ private:
+  struct SendAwaiter {
+    SendAwaiter(Channel* channel, T v) : ch(channel), value(std::move(v)) {}
+
+    Channel* ch;
+    T value;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      assert(!ch->closed_ && "send on closed channel");
+      // Fast path 1: hand the value straight to a parked receiver.
+      if (!ch->parked_receivers_.empty()) {
+        RecvAwaiter* r = ch->parked_receivers_.front();
+        ch->parked_receivers_.pop_front();
+        r->result = std::move(value);
+        r->have_result = true;
+        ch->env_->ScheduleNow(r->handle);
+        return true;
+      }
+      // Fast path 2: room in the buffer.
+      if (ch->buffer_.size() < ch->capacity_) {
+        ch->buffer_.push_back(std::move(value));
+        return true;
+      }
+      return false;
+    }
+
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      ch->parked_senders_.push_back(this);
+    }
+
+    void await_resume() const noexcept {}
+  };
+
+  struct RecvAwaiter {
+    explicit RecvAwaiter(Channel* channel) : ch(channel) {}
+
+    Channel* ch;
+    std::optional<T> result;
+    bool have_result = false;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      if (!ch->buffer_.empty()) {
+        result = std::move(ch->buffer_.front());
+        ch->buffer_.pop_front();
+        have_result = true;
+        // A parked sender can now move its value into the freed slot.
+        if (!ch->parked_senders_.empty()) {
+          SendAwaiter* s = ch->parked_senders_.front();
+          ch->parked_senders_.pop_front();
+          ch->buffer_.push_back(std::move(s->value));
+          ch->env_->ScheduleNow(s->handle);
+        }
+        return true;
+      }
+      // Rendezvous with a parked sender when capacity_ == 0.
+      if (!ch->parked_senders_.empty()) {
+        SendAwaiter* s = ch->parked_senders_.front();
+        ch->parked_senders_.pop_front();
+        result = std::move(s->value);
+        have_result = true;
+        ch->env_->ScheduleNow(s->handle);
+        return true;
+      }
+      if (ch->closed_) {
+        result.reset();
+        have_result = true;
+        return true;
+      }
+      return false;
+    }
+
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      ch->parked_receivers_.push_back(this);
+    }
+
+    std::optional<T> await_resume() {
+      assert(have_result);
+      return std::move(result);
+    }
+  };
+
+  SimEnvironment* env_;
+  size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> buffer_;
+  std::deque<SendAwaiter*> parked_senders_;
+  std::deque<RecvAwaiter*> parked_receivers_;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_SIM_CHANNEL_H_

@@ -1,0 +1,44 @@
+#include "src/sim/environment.h"
+
+#include <cassert>
+
+namespace bkup {
+
+void SimEnvironment::ScheduleAt(SimTime when, std::coroutine_handle<> handle) {
+  assert(when >= now_ && "cannot schedule into the simulated past");
+  queue_.push(Event{when, next_seq_++, handle});
+}
+
+void SimEnvironment::Spawn(Task task) {
+  auto handle = task.Release();
+  assert(handle && "spawning an empty task");
+  handle.promise().started = true;
+  ScheduleNow(handle);
+}
+
+SimTime SimEnvironment::Run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ++events_processed_;
+    ev.handle.resume();
+  }
+  return now_;
+}
+
+SimTime SimEnvironment::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ++events_processed_;
+    ev.handle.resume();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+}  // namespace bkup

@@ -1,0 +1,78 @@
+// The discrete-event simulation environment: a virtual clock and an event
+// queue of coroutine resumptions. Single-threaded and fully deterministic:
+// events at equal times run in schedule (FIFO) order.
+#ifndef BKUP_SIM_ENVIRONMENT_H_
+#define BKUP_SIM_ENVIRONMENT_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/sim/task.h"
+#include "src/util/units.h"
+
+namespace bkup {
+
+class SimEnvironment {
+ public:
+  SimEnvironment() = default;
+  SimEnvironment(const SimEnvironment&) = delete;
+  SimEnvironment& operator=(const SimEnvironment&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules a coroutine resumption at absolute time `when` (>= now).
+  void ScheduleAt(SimTime when, std::coroutine_handle<> handle);
+  void ScheduleNow(std::coroutine_handle<> handle) { ScheduleAt(now_, handle); }
+
+  // Launches a top-level simulated process. The process starts at the
+  // current simulated time when the event loop reaches it.
+  void Spawn(Task task);
+
+  // Runs until the event queue drains. Returns the final simulated time.
+  SimTime Run();
+
+  // Runs until the queue drains or the clock passes `deadline`.
+  SimTime RunUntil(SimTime deadline);
+
+  // Awaitable: suspend the current task for `d` simulated time.
+  //   co_await env.Delay(50 * kMillisecond);
+  auto Delay(SimDuration d) {
+    struct Awaiter {
+      SimEnvironment* env;
+      SimDuration duration;
+      bool await_ready() const noexcept { return duration <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        env->ScheduleAt(env->now_ + duration, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // FIFO tiebreak for simultaneous events
+    std::coroutine_handle<> handle;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_SIM_ENVIRONMENT_H_

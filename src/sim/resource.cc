@@ -1,0 +1,42 @@
+#include "src/sim/resource.h"
+
+namespace bkup {
+
+void Resource::AccountToNow() const {
+  const SimTime now = env_->now();
+  busy_integral_ += (capacity_ - available_) * (now - last_change_);
+  last_change_ = now;
+}
+
+void Resource::Take(int64_t units) {
+  AccountToNow();
+  available_ -= units;
+  assert(available_ >= 0);
+}
+
+void Resource::Release(int64_t units) {
+  AccountToNow();
+  available_ += units;
+  assert(available_ <= capacity_);
+  // Grant FIFO waiters that now fit. Strict FIFO: stop at the first waiter
+  // that does not fit, so large requests cannot be starved by small ones.
+  while (!waiters_.empty() && waiters_.front().units <= available_) {
+    Waiter w = waiters_.front();
+    waiters_.pop_front();
+    available_ -= w.units;
+    env_->ScheduleNow(w.handle);
+  }
+}
+
+Task Resource::Use(int64_t units, SimDuration d) {
+  co_await Acquire(units);
+  co_await env_->Delay(d);
+  Release(units);
+}
+
+int64_t Resource::BusyIntegral() const {
+  AccountToNow();
+  return busy_integral_;
+}
+
+}  // namespace bkup

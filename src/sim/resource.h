@@ -1,0 +1,120 @@
+// A counted resource with FIFO queuing, the building block for modeling the
+// filer's CPU and device arms. Tracks a busy-time integral so benchmark code
+// can report utilization over any window (the CPU % columns of Tables 3-5).
+#ifndef BKUP_SIM_RESOURCE_H_
+#define BKUP_SIM_RESOURCE_H_
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/sim/environment.h"
+#include "src/sim/task.h"
+#include "src/util/units.h"
+
+namespace bkup {
+
+class Resource {
+ public:
+  Resource(SimEnvironment* env, int64_t capacity, std::string name)
+      : env_(env), capacity_(capacity), available_(capacity),
+        name_(std::move(name)) {
+    assert(capacity > 0);
+  }
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  const std::string& name() const { return name_; }
+  int64_t capacity() const { return capacity_; }
+  int64_t in_use() const { return capacity_ - available_; }
+  size_t queue_length() const { return waiters_.size(); }
+
+  // Awaitable: obtains `units` of the resource, FIFO-fair.
+  //   co_await cpu.Acquire();
+  auto Acquire(int64_t units = 1) {
+    struct Awaiter {
+      Resource* res;
+      int64_t units;
+      bool await_ready() {
+        if (res->waiters_.empty() && res->available_ >= units) {
+          res->Take(units);
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        res->waiters_.push_back(Waiter{units, h});
+      }
+      void await_resume() const noexcept {}
+    };
+    assert(units > 0 && units <= capacity_);
+    return Awaiter{this, units};
+  }
+
+  // Returns `units` and grants as many FIFO waiters as now fit.
+  void Release(int64_t units = 1);
+
+  // Convenience process: hold `units` for `d` of simulated time.
+  //   co_await cpu.Use(1, cost);
+  Task Use(int64_t units, SimDuration d);
+
+  // Integral of in_use over time, in unit-microseconds, up to `now`.
+  // Utilization over [t0, t1] = (BusyIntegral@t1 - BusyIntegral@t0)
+  //                             / (capacity * (t1 - t0)).
+  int64_t BusyIntegral() const;
+
+ private:
+  struct Waiter {
+    int64_t units;
+    std::coroutine_handle<> handle;
+  };
+
+  void Take(int64_t units);
+  void AccountToNow() const;
+
+  SimEnvironment* env_;
+  int64_t capacity_;
+  int64_t available_;
+  std::string name_;
+  std::deque<Waiter> waiters_;
+
+  // Busy accounting (mutable: reading the integral advances it to `now`).
+  mutable SimTime last_change_ = 0;
+  mutable int64_t busy_integral_ = 0;
+};
+
+// Snapshot of a resource at a stage boundary; pairs of these yield the
+// per-stage utilization numbers in the paper's tables.
+class UtilizationWindow {
+ public:
+  explicit UtilizationWindow(const Resource* res)
+      : res_(res) {}
+
+  void Start(SimTime now) {
+    start_time_ = now;
+    start_integral_ = res_->BusyIntegral();
+  }
+
+  // Mean utilization in [start, now] as a fraction of capacity.
+  double Utilization(SimTime now) const {
+    const SimDuration span = now - start_time_;
+    if (span <= 0) {
+      return 0.0;
+    }
+    const int64_t busy = res_->BusyIntegral() - start_integral_;
+    return static_cast<double>(busy) /
+           (static_cast<double>(res_->capacity()) * static_cast<double>(span));
+  }
+
+ private:
+  const Resource* res_;
+  SimTime start_time_ = 0;
+  int64_t start_integral_ = 0;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_SIM_RESOURCE_H_

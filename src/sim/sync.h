@@ -1,0 +1,80 @@
+// Synchronization primitives for simulated processes: a manual-reset event
+// and a countdown latch (used to join parallel per-disk transfers).
+#ifndef BKUP_SIM_SYNC_H_
+#define BKUP_SIM_SYNC_H_
+
+#include <cassert>
+#include <coroutine>
+#include <vector>
+
+#include "src/sim/environment.h"
+
+namespace bkup {
+
+// One-shot event: waiters park until Notify(); waits after Notify() complete
+// immediately.
+class SimEvent {
+ public:
+  explicit SimEvent(SimEnvironment* env) : env_(env) {}
+
+  SimEvent(const SimEvent&) = delete;
+  SimEvent& operator=(const SimEvent&) = delete;
+
+  bool notified() const { return notified_; }
+
+  void Notify() {
+    assert(!notified_);
+    notified_ = true;
+    for (auto handle : waiters_) {
+      env_->ScheduleNow(handle);
+    }
+    waiters_.clear();
+  }
+
+  auto Wait() {
+    struct Awaiter {
+      SimEvent* ev;
+      bool await_ready() const { return ev->notified_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ev->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  SimEnvironment* env_;
+  bool notified_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Latch: Wait() completes when CountDown() has been called `count` times.
+class CountdownLatch {
+ public:
+  CountdownLatch(SimEnvironment* env, int count)
+      : event_(env), remaining_(count) {
+    assert(count >= 0);
+    if (count == 0) {
+      event_.Notify();
+    }
+  }
+
+  void CountDown() {
+    assert(remaining_ > 0);
+    if (--remaining_ == 0) {
+      event_.Notify();
+    }
+  }
+
+  auto Wait() { return event_.Wait(); }
+  bool done() const { return remaining_ == 0; }
+
+ private:
+  SimEvent event_;
+  int remaining_;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_SIM_SYNC_H_

@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr. Off by default at DEBUG so tests and
+// benches stay quiet; BKUP_LOG(INFO) is for example programs.
+#ifndef BKUP_UTIL_LOGGING_H_
+#define BKUP_UTIL_LOGGING_H_
+
+#include <sstream>
+
+namespace bkup {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal: a single log statement. Flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Discards everything streamed into it; used when level is filtered out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+#define BKUP_LOG(level)                                              \
+  if (::bkup::LogLevel::k##level < ::bkup::GetLogLevel())            \
+    ;                                                                \
+  else                                                               \
+    ::bkup::LogMessage(::bkup::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+}  // namespace bkup
+
+#endif  // BKUP_UTIL_LOGGING_H_

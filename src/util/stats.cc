@@ -1,0 +1,75 @@
+#include "src/util/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bkup {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) {
+    min_ = x;
+  }
+  if (x > max_) {
+    max_ = x;
+  }
+}
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+int BucketOf(uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  return 64 - __builtin_clzll(value);
+}
+}  // namespace
+
+void Log2Histogram::Add(uint64_t value) {
+  ++buckets_[BucketOf(value) % kBuckets];
+  ++total_;
+}
+
+uint64_t Log2Histogram::Percentile(double fraction) const {
+  if (total_ == 0) {
+    return 0;
+  }
+  const auto target = static_cast<uint64_t>(fraction * static_cast<double>(total_));
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > target) {
+      return b == 0 ? 0 : (1ull << (b - 1));
+    }
+  }
+  return 1ull << (kBuckets - 1);
+}
+
+std::string Log2Histogram::ToString() const {
+  std::string out;
+  char line[128];
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) {
+      continue;
+    }
+    const uint64_t lo = b == 0 ? 0 : (1ull << (b - 1));
+    const uint64_t hi = (1ull << b) - 1;
+    std::snprintf(line, sizeof(line), "[%llu, %llu]: %llu\n",
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(buckets_[b]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bkup

@@ -1,0 +1,54 @@
+// Running statistics and fixed-bucket histograms used by the simulation's
+// utilization trackers and the benchmark reports.
+#ifndef BKUP_UTIL_STATS_H_
+#define BKUP_UTIL_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace bkup {
+
+// Welford running mean/variance plus min/max; O(1) space.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Power-of-two bucketed histogram for sizes/latencies.
+class Log2Histogram {
+ public:
+  void Add(uint64_t value);
+  uint64_t count() const { return total_; }
+
+  // Value below which `fraction` of samples fall (bucket-granular).
+  uint64_t Percentile(double fraction) const;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t total_ = 0;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_UTIL_STATS_H_

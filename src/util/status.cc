@@ -1,0 +1,91 @@
+#include "src/util/status.h"
+
+namespace bkup {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kNoSpace:
+      return "NO_SPACE";
+    case ErrorCode::kIoError:
+      return "IO_ERROR";
+    case ErrorCode::kCorruption:
+      return "CORRUPTION";
+    case ErrorCode::kNotADirectory:
+      return "NOT_A_DIRECTORY";
+    case ErrorCode::kIsADirectory:
+      return "IS_A_DIRECTORY";
+    case ErrorCode::kNotEmpty:
+      return "NOT_EMPTY";
+    case ErrorCode::kPermission:
+      return "PERMISSION";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kUnsupported:
+      return "UNSUPPORTED";
+    case ErrorCode::kExhausted:
+      return "EXHAUSTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = ErrorCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgument(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status NotFound(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status AlreadyExists(std::string message) {
+  return Status(ErrorCode::kAlreadyExists, std::move(message));
+}
+Status NoSpace(std::string message) {
+  return Status(ErrorCode::kNoSpace, std::move(message));
+}
+Status IoError(std::string message) {
+  return Status(ErrorCode::kIoError, std::move(message));
+}
+Status Corruption(std::string message) {
+  return Status(ErrorCode::kCorruption, std::move(message));
+}
+Status NotADirectory(std::string message) {
+  return Status(ErrorCode::kNotADirectory, std::move(message));
+}
+Status IsADirectory(std::string message) {
+  return Status(ErrorCode::kIsADirectory, std::move(message));
+}
+Status NotEmpty(std::string message) {
+  return Status(ErrorCode::kNotEmpty, std::move(message));
+}
+Status Permission(std::string message) {
+  return Status(ErrorCode::kPermission, std::move(message));
+}
+Status FailedPrecondition(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status Unsupported(std::string message) {
+  return Status(ErrorCode::kUnsupported, std::move(message));
+}
+Status Exhausted(std::string message) {
+  return Status(ErrorCode::kExhausted, std::move(message));
+}
+
+}  // namespace bkup

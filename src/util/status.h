@@ -1,0 +1,143 @@
+// Error handling primitives for the backup library.
+//
+// The library does not use exceptions on normal control paths; fallible
+// operations return `Status` or `Result<T>`. This mirrors the status-return
+// idiom of kernel/storage code where an I/O error is an expected outcome, not
+// an exceptional one.
+#ifndef BKUP_UTIL_STATUS_H_
+#define BKUP_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bkup {
+
+// Coarse error taxonomy, patterned after POSIX errno classes that matter for a
+// file system and its backup paths.
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // caller error: bad flag, bad range, bad name
+  kNotFound,          // missing file, snapshot, inode, tape record
+  kAlreadyExists,     // create of an existing name, duplicate snapshot
+  kNoSpace,           // volume or tape out of blocks
+  kIoError,           // device-level failure (disk dead, tape fault)
+  kCorruption,        // checksum mismatch, malformed on-media structure
+  kNotADirectory,     // path component is not a directory
+  kIsADirectory,      // file operation on a directory
+  kNotEmpty,          // rmdir of non-empty directory
+  kPermission,        // operation not permitted in this mode
+  kFailedPrecondition,// object in the wrong state for the request
+  kUnsupported,       // feature intentionally absent (e.g. file in image dump)
+  kExhausted,         // fixed resource table full (snapshots, inodes, tapes)
+};
+
+// Human-readable name of an ErrorCode ("NOT_FOUND" etc.).
+const char* ErrorCodeName(ErrorCode code);
+
+// A cheap, copyable success/error value. OK status carries no allocation.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status::Ok() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "NOT_FOUND: no such snapshot 'nightly.3'"
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Convenience constructors, used as `return InvalidArgument("bad level");`.
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status NoSpace(std::string message);
+Status IoError(std::string message);
+Status Corruption(std::string message);
+Status NotADirectory(std::string message);
+Status IsADirectory(std::string message);
+Status NotEmpty(std::string message);
+Status Permission(std::string message);
+Status FailedPrecondition(std::string message);
+Status Unsupported(std::string message);
+Status Exhausted(std::string message);
+
+// Result<T>: either a value or an error Status. Accessing the value of an
+// error result is a programming bug and asserts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(value_).ok() && "Result from OK status has no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(value_);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagate an error Status from an expression that yields Status.
+#define BKUP_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::bkup::Status _st = (expr);            \
+    if (!_st.ok()) {                        \
+      return _st;                           \
+    }                                       \
+  } while (0)
+
+// Bind `lhs` to the value of a Result-yielding expression or propagate error.
+#define BKUP_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto BKUP_CONCAT_(_res_, __LINE__) = (expr);                 \
+  if (!BKUP_CONCAT_(_res_, __LINE__).ok()) {                   \
+    return BKUP_CONCAT_(_res_, __LINE__).status();             \
+  }                                                            \
+  lhs = std::move(BKUP_CONCAT_(_res_, __LINE__)).value()
+
+#define BKUP_CONCAT_(a, b) BKUP_CONCAT_IMPL_(a, b)
+#define BKUP_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace bkup
+
+#endif  // BKUP_UTIL_STATUS_H_

@@ -1,0 +1,57 @@
+#include "src/util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bkup {
+
+double BytesPerSecToMBps(double bytes_per_sec) { return bytes_per_sec / 1e6; }
+
+double BytesPerSecToGBph(double bytes_per_sec) {
+  return bytes_per_sec * 3600.0 / 1e9;
+}
+
+std::string FormatSize(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                  static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB",
+                  static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const double abs_d = std::abs(static_cast<double>(d));
+  if (abs_d >= static_cast<double>(kHour)) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", SimToHours(d));
+  } else if (abs_d >= static_cast<double>(kMinute)) {
+    std::snprintf(buf, sizeof(buf), "%.1f min",
+                  static_cast<double>(d) / static_cast<double>(kMinute));
+  } else if (abs_d >= static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", SimToSeconds(d));
+  } else if (abs_d >= static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms",
+                  static_cast<double>(d) / static_cast<double>(kMillisecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld us", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+std::string FormatPercent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace bkup

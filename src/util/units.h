@@ -1,0 +1,55 @@
+// Size and time units used throughout the library, plus human-readable
+// formatting helpers for the benchmark tables.
+#ifndef BKUP_UTIL_UNITS_H_
+#define BKUP_UTIL_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bkup {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// Simulated time is kept in microseconds, which is fine-grained enough for a
+// 4 KB transfer on a 100 MB/s device (40 us) and wide enough for multi-hour
+// backups (64-bit us wraps after ~580k years).
+using SimTime = int64_t;      // absolute simulated time, microseconds
+using SimDuration = int64_t;  // simulated interval, microseconds
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+
+// Seconds as a double -> SimDuration.
+constexpr SimDuration SecondsToSim(double seconds) {
+  return static_cast<SimDuration>(seconds * static_cast<double>(kSecond));
+}
+
+constexpr double SimToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr double SimToHours(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kHour);
+}
+
+// Throughput helpers for reporting in the paper's units.
+double BytesPerSecToMBps(double bytes_per_sec);   // MB/s, 10^6 bytes
+double BytesPerSecToGBph(double bytes_per_sec);   // GB/hour, 10^9 bytes
+
+// "1.5 GiB", "37.2 MiB", "512 B".
+std::string FormatSize(uint64_t bytes);
+
+// "6.75 h", "20.0 min", "35 s", "1.2 ms".
+std::string FormatDuration(SimDuration d);
+
+// "87.3%"
+std::string FormatPercent(double fraction);
+
+}  // namespace bkup
+
+#endif  // BKUP_UTIL_UNITS_H_

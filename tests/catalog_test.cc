@@ -1,0 +1,119 @@
+// Direct tests for the restore catalog — the "desiccated file system" that
+// resolves names to dumped inums without touching the target file system.
+#include <gtest/gtest.h>
+
+#include "src/dump/catalog.h"
+
+namespace bkup {
+namespace {
+
+DumpInodeAttrs DirAttrs() {
+  DumpInodeAttrs a;
+  a.type = InodeType::kDirectory;
+  a.mode = 0755;
+  return a;
+}
+
+// Builds:  / (2) ├── docs (10) │ ├── a.txt (20)
+//                │ └── sub (11) ── b.txt (21)
+//                └── link-to-a (20)   [hard link]
+RestoreCatalog MakeCatalog() {
+  RestoreCatalog c;
+  c.AddDirectory(2, DirAttrs(),
+                 {{10, InodeType::kDirectory, "docs"},
+                  {20, InodeType::kFile, "link-to-a"}});
+  c.AddDirectory(10, DirAttrs(),
+                 {{20, InodeType::kFile, "a.txt"},
+                  {11, InodeType::kDirectory, "sub"}});
+  c.AddDirectory(11, DirAttrs(), {{21, InodeType::kFile, "b.txt"}});
+  EXPECT_TRUE(c.Finalize().ok());
+  return c;
+}
+
+TEST(CatalogTest, FindsRoot) {
+  RestoreCatalog c = MakeCatalog();
+  EXPECT_EQ(c.root(), 2u);
+  EXPECT_EQ(c.num_directories(), 3u);
+}
+
+TEST(CatalogTest, NameiResolvesPaths) {
+  RestoreCatalog c = MakeCatalog();
+  EXPECT_EQ(*c.Namei("/"), 2u);
+  EXPECT_EQ(*c.Namei("/docs"), 10u);
+  EXPECT_EQ(*c.Namei("/docs/a.txt"), 20u);
+  EXPECT_EQ(*c.Namei("/docs/sub/b.txt"), 21u);
+  EXPECT_EQ(c.Namei("/nope").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(c.Namei("/docs/a.txt/deeper").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(CatalogTest, PathsOfHardLink) {
+  RestoreCatalog c = MakeCatalog();
+  auto paths = c.PathsOf(20);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "/docs/a.txt");
+  EXPECT_EQ(paths[1], "/link-to-a");
+  EXPECT_EQ(c.PathsOf(2), std::vector<std::string>{"/"});
+  EXPECT_TRUE(c.PathsOf(999).empty());
+}
+
+TEST(CatalogTest, Descendants) {
+  RestoreCatalog c = MakeCatalog();
+  auto d = c.Descendants(10);
+  // docs, a.txt, sub, b.txt (order: BFS)
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d[0], 10u);
+  auto leaf = c.Descendants(21);
+  EXPECT_EQ(leaf, std::vector<Inum>{21});
+}
+
+TEST(CatalogTest, TopDownVisitsParentsFirst) {
+  RestoreCatalog c = MakeCatalog();
+  std::vector<std::pair<Inum, std::string>> seen;
+  c.ForEachDirTopDown([&seen](Inum inum, const std::string& path) {
+    seen.emplace_back(inum, path);
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<Inum, std::string>{2, "/"}));
+  EXPECT_EQ(seen[1], (std::pair<Inum, std::string>{10, "/docs"}));
+  EXPECT_EQ(seen[2], (std::pair<Inum, std::string>{11, "/docs/sub"}));
+}
+
+TEST(CatalogTest, MultipleRootsRejected) {
+  RestoreCatalog c;
+  c.AddDirectory(2, DirAttrs(), {});
+  c.AddDirectory(9, DirAttrs(), {});
+  EXPECT_EQ(c.Finalize().code(), ErrorCode::kCorruption);
+}
+
+TEST(CatalogTest, NameiBeforeFinalizeFails) {
+  RestoreCatalog c;
+  c.AddDirectory(2, DirAttrs(), {});
+  EXPECT_EQ(c.Namei("/").status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(CatalogTest, DirAttrsAndEntriesAccessors) {
+  RestoreCatalog c = MakeCatalog();
+  auto attrs = c.DirAttrs(10);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->mode, 0755);
+  auto entries = c.DirEntries(10);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+  EXPECT_FALSE(c.DirAttrs(20).ok()) << "files are not catalog directories";
+  EXPECT_TRUE(c.HasDirectory(11));
+  EXPECT_FALSE(c.HasDirectory(21));
+}
+
+TEST(CatalogTest, SubtreeDumpRootIsNotInum2) {
+  // A subtree dump's root keeps its original inum; the catalog must still
+  // identify it as the root (nobody references it).
+  RestoreCatalog c;
+  c.AddDirectory(57, DirAttrs(), {{80, InodeType::kFile, "x"}});
+  ASSERT_TRUE(c.Finalize().ok());
+  EXPECT_EQ(c.root(), 57u);
+  EXPECT_EQ(*c.Namei("/x"), 80u);
+}
+
+}  // namespace
+}  // namespace bkup

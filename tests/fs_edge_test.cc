@@ -1,0 +1,288 @@
+// Edge-case and resource-exhaustion tests for the file system: volume-full
+// behaviour, inode exhaustion, deep trees, long names, snapshot-pinned
+// space, and interactions between truncation and snapshots.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/fs/filesystem.h"
+#include "src/util/random.h"
+
+namespace bkup {
+namespace {
+
+VolumeGeometry TinyGeometry() {
+  VolumeGeometry geom;
+  geom.num_raid_groups = 1;
+  geom.disks_per_group = 3;  // 2 data disks
+  geom.blocks_per_disk = 512;  // 1024 data blocks = 4 MiB
+  return geom;
+}
+
+struct EdgeFixture {
+  explicit EdgeFixture(VolumeGeometry geom = TinyGeometry(),
+                       FormatParams params = {}) {
+    volume = Volume::Create(&env, "tiny", geom);
+    fs = std::move(Filesystem::Format(volume.get(), &env, nullptr, params))
+             .value();
+  }
+  SimEnvironment env;
+  std::unique_ptr<Volume> volume;
+  std::unique_ptr<Filesystem> fs;
+};
+
+TEST(FsEdgeTest, VolumeFullReportsNoSpaceAndStaysConsistent) {
+  EdgeFixture f;
+  auto inum = f.fs->Create("/hog", 0644);
+  ASSERT_TRUE(inum.ok());
+  std::vector<uint8_t> chunk(64 * kBlockSize, 0xAA);
+  Status last = Status::Ok();
+  uint64_t offset = 0;
+  // Keep writing until the consistency point cannot allocate.
+  while (true) {
+    Status w = f.fs->Write(*inum, offset, chunk);
+    if (!w.ok()) {
+      last = w;
+      break;
+    }
+    last = f.fs->ConsistencyPoint().status();
+    if (!last.ok()) {
+      break;
+    }
+    offset += chunk.size();
+    if (offset > f.volume->SizeBytes() * 2) {
+      FAIL() << "volume never filled up";
+    }
+  }
+  EXPECT_EQ(last.code(), ErrorCode::kNoSpace);
+  // Despite the failure, previously committed data still reads back and the
+  // volume still mounts from its last good consistency point.
+  f.fs.reset();
+  auto remounted = Filesystem::Mount(f.volume.get(), &f.env);
+  ASSERT_TRUE(remounted.ok()) << remounted.status().ToString();
+  auto back = (*remounted)->LookupPath("/hog");
+  EXPECT_TRUE(back.ok());
+}
+
+TEST(FsEdgeTest, DeletingFreesSpaceForNewWrites) {
+  EdgeFixture f;
+  std::vector<uint8_t> big(300 * kBlockSize, 1);
+  auto a = f.fs->Create("/a", 0644);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(f.fs->Write(*a, 0, big).ok());
+  ASSERT_TRUE(f.fs->ConsistencyPoint().ok());
+  const uint64_t free_before = f.fs->Stats().free_blocks;
+  ASSERT_TRUE(f.fs->Unlink("/a").ok());
+  ASSERT_TRUE(f.fs->ConsistencyPoint().ok());
+  EXPECT_GT(f.fs->Stats().free_blocks, free_before + 290);
+  // The space is genuinely reusable.
+  auto b = f.fs->Create("/b", 0644);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(f.fs->Write(*b, 0, big).ok());
+  EXPECT_TRUE(f.fs->ConsistencyPoint().ok());
+}
+
+TEST(FsEdgeTest, SnapshotPinnedSpaceNotReusable) {
+  EdgeFixture f;
+  std::vector<uint8_t> big(300 * kBlockSize, 2);
+  auto a = f.fs->Create("/a", 0644);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(f.fs->Write(*a, 0, big).ok());
+  ASSERT_TRUE(f.fs->CreateSnapshot("pin").ok());
+  ASSERT_TRUE(f.fs->Unlink("/a").ok());
+  ASSERT_TRUE(f.fs->ConsistencyPoint().ok());
+  // The snapshot pins the blocks: free space stays low.
+  const FsStats pinned = f.fs->Stats();
+  EXPECT_GE(pinned.snapshot_only_blocks, 300u);
+  // After deleting the snapshot the space returns.
+  ASSERT_TRUE(f.fs->DeleteSnapshot("pin").ok());
+  EXPECT_LT(f.fs->Stats().snapshot_only_blocks, 20u);
+}
+
+TEST(FsEdgeTest, InodeExhaustion) {
+  FormatParams params;
+  params.max_inodes = 1024;  // minimum the formatter accepts
+  EdgeFixture f(TinyGeometry(), params);
+  Status last = Status::Ok();
+  int created = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto inum = f.fs->Create("/f" + std::to_string(i), 0644);
+    if (!inum.ok()) {
+      last = inum.status();
+      break;
+    }
+    ++created;
+  }
+  EXPECT_EQ(last.code(), ErrorCode::kExhausted);
+  EXPECT_GT(created, 1000);  // close to max_inodes minus reserved
+  // Deleting one makes room for exactly one more.
+  ASSERT_TRUE(f.fs->Unlink("/f0").ok());
+  EXPECT_TRUE(f.fs->Create("/again", 0644).ok());
+  EXPECT_EQ(f.fs->Create("/nope", 0644).status().code(),
+            ErrorCode::kExhausted);
+}
+
+TEST(FsEdgeTest, DeepDirectoryTree) {
+  EdgeFixture f;
+  std::string path;
+  for (int depth = 0; depth < 40; ++depth) {
+    path += "/d" + std::to_string(depth);
+    ASSERT_TRUE(f.fs->Mkdir(path, 0755).ok()) << path;
+  }
+  auto leaf = f.fs->Create(path + "/leaf", 0644);
+  ASSERT_TRUE(leaf.ok());
+  ASSERT_TRUE(f.fs->ConsistencyPoint().ok());
+  f.fs.reset();
+  auto remounted = Filesystem::Mount(f.volume.get(), &f.env);
+  ASSERT_TRUE(remounted.ok());
+  EXPECT_TRUE((*remounted)->LookupPath(path + "/leaf").ok());
+}
+
+TEST(FsEdgeTest, MaxLengthAndOverlongNames) {
+  EdgeFixture f;
+  const std::string ok_name(kMaxNameLen, 'x');
+  EXPECT_TRUE(f.fs->Create("/" + ok_name, 0644).ok());
+  EXPECT_TRUE(f.fs->LookupPath("/" + ok_name).ok());
+  const std::string too_long(kMaxNameLen + 1, 'y');
+  EXPECT_EQ(f.fs->Create("/" + too_long, 0644).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(FsEdgeTest, PathSyntaxRejected) {
+  EdgeFixture f;
+  EXPECT_FALSE(f.fs->Create("relative", 0644).ok());
+  EXPECT_FALSE(f.fs->Create("/a//b", 0644).ok());
+  EXPECT_FALSE(f.fs->Create("/a/../b", 0644).ok());
+  EXPECT_FALSE(f.fs->LookupPath("").ok());
+  EXPECT_FALSE(f.fs->Mkdir("/", 0755).ok()) << "root already exists";
+}
+
+TEST(FsEdgeTest, LargeDirectory) {
+  EdgeFixture f;
+  ASSERT_TRUE(f.fs->Mkdir("/big", 0755).ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(f.fs->Create("/big/f" + std::to_string(i), 0644).ok()) << i;
+  }
+  auto dir = f.fs->LookupPath("/big");
+  ASSERT_TRUE(dir.ok());
+  auto entries = f.fs->ReadDir(*dir);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 500u);
+  // Spot-check a middle entry after a remount.
+  ASSERT_TRUE(f.fs->ConsistencyPoint().ok());
+  f.fs.reset();
+  auto remounted = Filesystem::Mount(f.volume.get(), &f.env);
+  ASSERT_TRUE(remounted.ok());
+  EXPECT_TRUE((*remounted)->LookupPath("/big/f250").ok());
+}
+
+TEST(FsEdgeTest, TruncateSharedWithSnapshotKeepsSnapshotIntact) {
+  EdgeFixture f;
+  std::vector<uint8_t> data(20 * kBlockSize);
+  Rng(5).Fill(data);
+  auto inum = f.fs->Create("/t", 0644);
+  ASSERT_TRUE(inum.ok());
+  ASSERT_TRUE(f.fs->Write(*inum, 0, data).ok());
+  ASSERT_TRUE(f.fs->CreateSnapshot("full").ok());
+  ASSERT_TRUE(f.fs->Truncate(*inum, 3).ok());
+  ASSERT_TRUE(f.fs->ConsistencyPoint().ok());
+
+  auto snap = f.fs->SnapshotReader("full").value();
+  auto snap_inum = snap.LookupPath("/t").value();
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(
+      snap.ReadFile(*snap.ReadInode(snap_inum), 0, data.size(), &back).ok());
+  EXPECT_EQ(back, data) << "snapshot must keep the pre-truncate contents";
+  auto live = f.fs->GetAttr(*inum);
+  EXPECT_EQ(live->size, 3u);
+}
+
+TEST(FsEdgeTest, ManySnapshotsOfChangingFile) {
+  EdgeFixture f;
+  auto inum = f.fs->Create("/v", 0644);
+  ASSERT_TRUE(inum.ok());
+  std::vector<std::vector<uint8_t>> versions;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<uint8_t> data(5 * kBlockSize);
+    Rng(100 + i).Fill(data);
+    ASSERT_TRUE(f.fs->Write(*inum, 0, data).ok());
+    ASSERT_TRUE(f.fs->CreateSnapshot("v" + std::to_string(i)).ok());
+    versions.push_back(std::move(data));
+  }
+  // Every version is still exactly readable from its snapshot.
+  for (int i = 0; i < 10; ++i) {
+    auto snap = f.fs->SnapshotReader("v" + std::to_string(i)).value();
+    auto snap_inum = snap.LookupPath("/v").value();
+    std::vector<uint8_t> back;
+    ASSERT_TRUE(snap.ReadFile(*snap.ReadInode(snap_inum), 0,
+                              versions[i].size(), &back)
+                    .ok());
+    EXPECT_EQ(back, versions[i]) << "version " << i;
+  }
+}
+
+TEST(FsEdgeTest, ZeroByteOperations) {
+  EdgeFixture f;
+  auto inum = f.fs->Create("/z", 0644);
+  ASSERT_TRUE(inum.ok());
+  EXPECT_TRUE(f.fs->Write(*inum, 0, {}).ok());
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(f.fs->Read(*inum, 0, 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(f.fs->Truncate(*inum, 0).ok());
+  EXPECT_EQ(f.fs->GetAttr(*inum)->size, 0u);
+}
+
+TEST(FsEdgeTest, FirstFitPolicyWorksAndRecyclesEagerly) {
+  FormatParams params;
+  params.alloc_policy = WriteAllocator::Policy::kFirstFit;
+  EdgeFixture f(TinyGeometry(), params);
+  std::vector<uint8_t> data(10 * kBlockSize, 3);
+  auto a = f.fs->Create("/a", 0644);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(f.fs->Write(*a, 0, data).ok());
+  ASSERT_TRUE(f.fs->ConsistencyPoint().ok());
+  // Record where /a landed, delete it, and write /b: first-fit must reuse
+  // the lowest freed blocks immediately.
+  auto reader = f.fs->LiveReader();
+  auto a_ptrs = reader.PointerMap(*reader.ReadInode(*a)).value();
+  ASSERT_TRUE(f.fs->Unlink("/a").ok());
+  auto b = f.fs->Create("/b", 0644);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(f.fs->Write(*b, 0, data).ok());
+  ASSERT_TRUE(f.fs->ConsistencyPoint().ok());
+  auto reader2 = f.fs->LiveReader();
+  auto b_ptrs = reader2.PointerMap(*reader2.ReadInode(*b)).value();
+  Vbn a_min = ~0ull, b_min = ~0ull;
+  for (uint32_t p : a_ptrs) {
+    a_min = std::min<Vbn>(a_min, p);
+  }
+  for (uint32_t p : b_ptrs) {
+    b_min = std::min<Vbn>(b_min, p);
+  }
+  // Consistency-point metadata may grab a couple of the lowest blocks
+  // first, but /b must land in the recycled low region rather than at an
+  // advancing write point.
+  EXPECT_LE(b_min, a_min + 8)
+      << "first-fit must recycle the lowest freed blocks";
+  // And everything still reads back.
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(f.fs->Read(*b, 0, data.size(), &back).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST(FsEdgeTest, RepeatedCpWithNoChangesIsStable) {
+  EdgeFixture f;
+  ASSERT_TRUE(f.fs->Create("/x", 0644).ok());
+  ASSERT_TRUE(f.fs->ConsistencyPoint().ok());
+  const uint64_t used_before = f.fs->blockmap().CountUsed();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(f.fs->ConsistencyPoint().ok());
+  }
+  // Block-map/fsinfo rewrites must not leak blocks.
+  EXPECT_EQ(f.fs->blockmap().CountUsed(), used_before);
+}
+
+}  // namespace
+}  // namespace bkup

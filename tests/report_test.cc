@@ -1,0 +1,137 @@
+// Tests for the job-report accounting: phase windows, CPU attribution,
+// stream-window rates, and merging of parallel part reports.
+#include <gtest/gtest.h>
+
+#include "src/backup/report.h"
+
+namespace bkup {
+namespace {
+
+TEST(PhaseStatsTest, InactiveByDefault) {
+  PhaseStats p;
+  EXPECT_FALSE(p.active());
+  EXPECT_EQ(p.elapsed(), 0);
+  EXPECT_EQ(p.CpuUtilization(), 0.0);
+}
+
+TEST(JobReportTest, TouchPhaseTracksWindowAndCpu) {
+  JobReport r;
+  r.TouchPhase(JobPhase::kDumpFiles, 1000, 50);
+  r.TouchPhase(JobPhase::kDumpFiles, 5000, 2050);
+  const PhaseStats& p = r.phase(JobPhase::kDumpFiles);
+  EXPECT_TRUE(p.active());
+  EXPECT_EQ(p.start, 1000);
+  EXPECT_EQ(p.end, 5000);
+  EXPECT_EQ(p.elapsed(), 4000);
+  EXPECT_DOUBLE_EQ(p.CpuUtilization(), 0.5);  // 2000 busy over 4000
+}
+
+TEST(JobReportTest, TouchPhaseNeverShrinksTheWindow) {
+  JobReport r;
+  r.TouchPhase(JobPhase::kMap, 100, 0);
+  r.TouchPhase(JobPhase::kMap, 500, 10);
+  r.TouchPhase(JobPhase::kMap, 300, 5);  // out-of-order touch
+  EXPECT_EQ(r.phase(JobPhase::kMap).end, 500);
+}
+
+TEST(JobReportTest, StreamElapsedExcludesSnapshotOverhead) {
+  JobReport r;
+  r.start_time = 0;
+  r.end_time = 100 * kSecond;
+  r.TouchPhase(JobPhase::kCreateSnapshot, 0, 0);
+  r.TouchPhase(JobPhase::kCreateSnapshot, 30 * kSecond, 0);
+  r.TouchPhase(JobPhase::kDeleteSnapshot, 65 * kSecond, 0);
+  r.TouchPhase(JobPhase::kDeleteSnapshot, 100 * kSecond, 0);
+  EXPECT_EQ(r.SnapshotOverhead(), 65 * kSecond);
+  EXPECT_EQ(r.StreamElapsed(), 35 * kSecond);
+  r.data_bytes = 35 * 1000 * 1000;  // 1 MB/s over the stream window
+  EXPECT_NEAR(r.MBps(), 1.0, 1e-9);
+}
+
+TEST(JobReportTest, StreamCpuExcludesSnapshotBusy) {
+  JobReport r;
+  r.start_time = 0;
+  r.end_time = 40 * kSecond;
+  r.cpu_busy_start = 0;
+  r.cpu_busy_end = 20 * kSecond;  // 20 s busy total
+  // Snapshot phase burned 15 s of that.
+  r.TouchPhase(JobPhase::kCreateSnapshot, 0, 0);
+  r.TouchPhase(JobPhase::kCreateSnapshot, 30 * kSecond, 15 * kSecond);
+  // Stream window: 10 s elapsed, 5 s busy.
+  EXPECT_EQ(r.StreamElapsed(), 10 * kSecond);
+  EXPECT_DOUBLE_EQ(r.StreamCpuUtilization(), 0.5);
+  EXPECT_DOUBLE_EQ(r.CpuUtilization(), 0.5);  // whole-window: 20/40
+}
+
+TEST(JobReportTest, DeviceRatesOverStreamWindow) {
+  JobReport r;
+  r.start_time = 0;
+  r.end_time = 10 * kSecond;
+  r.phase(JobPhase::kDumpBlocks).start = 0;
+  r.phase(JobPhase::kDumpBlocks).end = 10 * kSecond;
+  r.phase(JobPhase::kDumpBlocks).disk_bytes = 50 * 1000 * 1000;
+  r.phase(JobPhase::kDumpBlocks).tape_bytes = 40 * 1000 * 1000;
+  EXPECT_DOUBLE_EQ(r.DiskMBps(), 5.0);
+  EXPECT_DOUBLE_EQ(r.TapeMBps(), 4.0);
+}
+
+TEST(MergeReportsTest, EnvelopeAndBytes) {
+  JobReport a, b;
+  a.name = "part0";
+  a.start_time = 100;
+  a.end_time = 500;
+  a.stream_bytes = 10;
+  a.data_bytes = 8;
+  b.start_time = 200;
+  b.end_time = 900;
+  b.stream_bytes = 20;
+  b.data_bytes = 16;
+  std::vector<JobReport> parts{a, b};
+  JobReport merged = MergeReports("op", parts);
+  EXPECT_EQ(merged.name, "op");
+  EXPECT_EQ(merged.start_time, 100);
+  EXPECT_EQ(merged.end_time, 900);
+  EXPECT_EQ(merged.stream_bytes, 30u);
+  EXPECT_EQ(merged.data_bytes, 24u);
+}
+
+TEST(MergeReportsTest, PhaseWindowsUnionAndBytesAdd) {
+  JobReport a, b;
+  a.TouchPhase(JobPhase::kDumpFiles, 10, 0);
+  a.TouchPhase(JobPhase::kDumpFiles, 50, 5);
+  a.phase(JobPhase::kDumpFiles).tape_bytes = 100;
+  b.TouchPhase(JobPhase::kDumpFiles, 30, 2);
+  b.TouchPhase(JobPhase::kDumpFiles, 90, 9);
+  b.phase(JobPhase::kDumpFiles).tape_bytes = 200;
+  std::vector<JobReport> parts{a, b};
+  JobReport merged = MergeReports("op", parts);
+  const PhaseStats& p = merged.phase(JobPhase::kDumpFiles);
+  EXPECT_EQ(p.start, 10);
+  EXPECT_EQ(p.end, 90);
+  EXPECT_EQ(p.tape_bytes, 300u);
+}
+
+TEST(MergeReportsTest, FirstErrorWins) {
+  JobReport ok, bad;
+  bad.status = IoError("tape ate itself");
+  std::vector<JobReport> parts{ok, bad};
+  JobReport merged = MergeReports("op", parts);
+  EXPECT_EQ(merged.status.code(), ErrorCode::kIoError);
+}
+
+TEST(MergeReportsTest, EmptyInput) {
+  JobReport merged = MergeReports("op", {});
+  EXPECT_EQ(merged.elapsed(), 0);
+  EXPECT_TRUE(merged.status.ok());
+}
+
+TEST(JobPhaseTest, AllPhasesNamed) {
+  for (int i = 0; i < static_cast<int>(JobPhase::kCount); ++i) {
+    const char* name = JobPhaseName(static_cast<JobPhase>(i));
+    EXPECT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "phase " << i;
+  }
+}
+
+}  // namespace
+}  // namespace bkup

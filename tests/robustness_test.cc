@@ -1,0 +1,231 @@
+// Robustness scenarios from the paper: verify-after-write of tapes,
+// dumping from a degraded RAID volume, restarting an interrupted restore,
+// and a dump-record fuzzing sweep.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/dump/logical_dump.h"
+#include "src/dump/logical_restore.h"
+#include "src/dump/verify.h"
+#include "src/fs/filesystem.h"
+#include "src/image/image_dump.h"
+#include "src/util/random.h"
+#include "src/workload/population.h"
+
+namespace bkup {
+namespace {
+
+VolumeGeometry Geometry() {
+  VolumeGeometry geom;
+  geom.num_raid_groups = 2;
+  geom.disks_per_group = 4;
+  geom.blocks_per_disk = 2048;
+  return geom;
+}
+
+struct RobustFixture {
+  RobustFixture() {
+    volume = Volume::Create(&env, "home", Geometry());
+    fs = std::move(Filesystem::Format(volume.get(), &env)).value();
+    WorkloadParams params;
+    params.target_bytes = 6 * kMiB;
+    EXPECT_TRUE(PopulateFilesystem(fs.get(), params).ok());
+  }
+
+  LogicalDumpOutput Dump() {
+    EXPECT_TRUE(fs->CreateSnapshot("snap").ok());
+    auto reader = fs->SnapshotReader("snap").value();
+    LogicalDumpOptions opt;
+    opt.volume_name = "home";
+    opt.dump_time = env.now();
+    auto out = RunLogicalDump(reader, opt);
+    EXPECT_TRUE(out.ok());
+    EXPECT_TRUE(fs->DeleteSnapshot("snap").ok());
+    return std::move(out).value();
+  }
+
+  SimEnvironment env;
+  std::unique_ptr<Volume> volume;
+  std::unique_ptr<Filesystem> fs;
+};
+
+// ------------------------------------------------------------- verify ---
+
+TEST(VerifyTest, CleanTapeIsReadable) {
+  RobustFixture f;
+  LogicalDumpOutput dump = f.Dump();
+  auto report = VerifyDumpStream(dump.stream);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->readable) << report->Summary();
+  EXPECT_EQ(report->files + report->directories, report->inodes_seen);
+  EXPECT_EQ(report->inodes_seen, report->inodes_expected);
+  EXPECT_EQ(report->corrupt_records, 0u);
+  EXPECT_EQ(report->out_of_order_records, 0u);
+  EXPECT_EQ(report->data_blocks, dump.stats.data_blocks);
+}
+
+TEST(VerifyTest, DetectsHeaderCorruption) {
+  RobustFixture f;
+  LogicalDumpOutput dump = f.Dump();
+  std::vector<uint8_t> bad = dump.stream;
+  bad[bad.size() / 2] ^= 0xFF;
+  auto report = VerifyDumpStream(bad);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->readable) << report->Summary();
+}
+
+TEST(VerifyTest, DetectsSilentDataCorruption) {
+  RobustFixture f;
+  LogicalDumpOutput dump = f.Dump();
+  std::vector<uint8_t> bad = dump.stream;
+  // Flip one bit far from any 1 KB header boundary: header CRCs all stay
+  // valid, only a data CRC can catch it.
+  for (size_t pos = bad.size() / 2; pos < bad.size(); ++pos) {
+    if (pos % kDumpRecordSize == 512) {
+      bad[pos] ^= 0x01;
+      break;
+    }
+  }
+  auto report = VerifyDumpStream(bad);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->readable);
+  EXPECT_GT(report->data_crc_errors, 0u);
+}
+
+TEST(VerifyTest, DetectsTruncation) {
+  RobustFixture f;
+  LogicalDumpOutput dump = f.Dump();
+  const std::span<const uint8_t> half(dump.stream.data(),
+                                      dump.stream.size() / 2);
+  auto report = VerifyDumpStream(half);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->readable) << "no end marker must fail verification";
+}
+
+// -------------------------------------------------- degraded-mode dumps ---
+
+TEST(DegradedTest, BackupsRunFromDegradedRaid) {
+  RobustFixture f;
+  auto sums = ChecksumTree(f.fs->LiveReader()).value();
+  // Lose one drive in each RAID group; reads reconstruct from parity.
+  f.volume->disk(0)->Fail();
+  f.volume->disk(5)->Fail();
+
+  // Logical dump still produces a fully verifiable tape.
+  LogicalDumpOutput logical = f.Dump();
+  auto verify = VerifyDumpStream(logical.stream);
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify->readable) << verify->Summary();
+
+  // Image dump still produces a restorable image.
+  ASSERT_TRUE(f.fs->CreateSnapshot("xfer").ok());
+  auto image = RunImageDump(f.volume.get(), ImageDumpOptions{});
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+
+  // Both restore correctly on healthy hardware.
+  SimEnvironment env2;
+  auto lvol = Volume::Create(&env2, "l", Geometry());
+  auto lfs = std::move(Filesystem::Format(lvol.get(), &env2)).value();
+  ASSERT_TRUE(
+      RunLogicalRestore(lfs.get(), logical.stream, LogicalRestoreOptions{})
+          .ok());
+  EXPECT_EQ(ChecksumTree(lfs->LiveReader()).value(), sums);
+
+  auto pvol = Volume::Create(&env2, "p", Geometry());
+  ASSERT_TRUE(RunImageRestore(pvol.get(), image->stream).ok());
+  auto mounted = Filesystem::Mount(pvol.get(), &env2);
+  ASSERT_TRUE(mounted.ok());
+  EXPECT_EQ(ChecksumTree((*mounted)->LiveReader()).value(), sums);
+}
+
+// ------------------------------------------------- interrupted restores ---
+
+TEST(RestartTest, InterruptedRestoreConvergesOnRerun) {
+  // Footnote 2's premise: "it is simple to restart a restore which is
+  // interrupted by a crash." A partial restore followed by a full re-run
+  // of the same tape must converge to the correct tree.
+  RobustFixture f;
+  auto sums = ChecksumTree(f.fs->LiveReader()).value();
+  LogicalDumpOutput dump = f.Dump();
+
+  SimEnvironment env2;
+  auto volume = Volume::Create(&env2, "r", Geometry());
+  auto fs = std::move(Filesystem::Format(volume.get(), &env2)).value();
+
+  // "Crash" partway: feed only 60% of the stream (salvage path), then the
+  // filer reboots from its last consistency point.
+  const std::span<const uint8_t> partial(dump.stream.data(),
+                                         dump.stream.size() * 6 / 10);
+  ASSERT_TRUE(
+      RunLogicalRestore(fs.get(), partial, LogicalRestoreOptions{}).ok());
+  fs.reset();
+  auto rebooted = Filesystem::Mount(volume.get(), &env2);
+  ASSERT_TRUE(rebooted.ok());
+
+  // Operator reruns the whole restore.
+  ASSERT_TRUE(RunLogicalRestore(rebooted->get(), dump.stream,
+                                LogicalRestoreOptions{})
+                  .ok());
+  EXPECT_EQ(ChecksumTree((*rebooted)->LiveReader()).value(), sums);
+}
+
+// ------------------------------------------------------------- fuzzing ---
+
+class RecordFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RecordFuzzTest, ParseNeverCrashesOnGarbage) {
+  Rng rng(GetParam());
+  std::vector<uint8_t> garbage(kDumpRecordSize);
+  for (int i = 0; i < 500; ++i) {
+    rng.Fill(garbage);
+    // Random bytes virtually never checksum correctly; Parse must reject
+    // them gracefully (and certainly never crash or read out of bounds).
+    auto rec = DumpRecord::Parse(garbage);
+    EXPECT_FALSE(rec.ok());
+  }
+}
+
+TEST_P(RecordFuzzTest, BitflippedRealRecordsParseOrRejectCleanly) {
+  Rng rng(GetParam() + 1000);
+  DumpRecord rec;
+  rec.type = DumpRecordType::kInode;
+  rec.inum = 77;
+  rec.attrs = {InodeType::kFile, 0644, 1, 0, 0, 4096, 1, 2, 3, 4};
+  rec.total_blocks = 1;
+  rec.map_count = 1;
+  rec.present_count = 1;
+  rec.block_map = {1};
+  const auto clean = rec.Serialize().value();
+  for (int i = 0; i < 500; ++i) {
+    std::vector<uint8_t> mutated = clean;
+    const size_t byte = rng.Below(mutated.size());
+    mutated[byte] ^= static_cast<uint8_t>(1u << rng.Below(8));
+    auto parsed = DumpRecord::Parse(mutated);
+    // A single bit flip must be caught by the header CRC.
+    EXPECT_FALSE(parsed.ok()) << "flip at byte " << byte;
+  }
+}
+
+TEST_P(RecordFuzzTest, RestoreSurvivesRandomStreamMutations) {
+  RobustFixture f;
+  LogicalDumpOutput dump = f.Dump();
+  Rng rng(GetParam() + 2000);
+  std::vector<uint8_t> mutated = dump.stream;
+  for (int i = 0; i < 20; ++i) {
+    mutated[rng.Below(mutated.size())] ^= 0x40;
+  }
+  SimEnvironment env2;
+  auto volume = Volume::Create(&env2, "r", Geometry());
+  auto fs = std::move(Filesystem::Format(volume.get(), &env2)).value();
+  // Must not crash and must not return a hard error — damaged files are
+  // skipped, everything else restores.
+  auto restored =
+      RunLogicalRestore(fs.get(), mutated, LogicalRestoreOptions{});
+  EXPECT_TRUE(restored.ok()) << restored.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecordFuzzTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace bkup
