@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_allocation_policy.dir/bench_allocation_policy.cc.o"
+  "CMakeFiles/bench_allocation_policy.dir/bench_allocation_policy.cc.o.d"
+  "bench_allocation_policy"
+  "bench_allocation_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allocation_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_volumes.dir/bench_concurrent_volumes.cc.o"
+  "CMakeFiles/bench_concurrent_volumes.dir/bench_concurrent_volumes.cc.o.d"
+  "bench_concurrent_volumes"
+  "bench_concurrent_volumes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_volumes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corruption.dir/bench_corruption.cc.o"
+  "CMakeFiles/bench_corruption.dir/bench_corruption.cc.o.d"
+  "bench_corruption"
+  "bench_corruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nvram_ablation.dir/bench_nvram_ablation.cc.o"
+  "CMakeFiles/bench_nvram_ablation.dir/bench_nvram_ablation.cc.o.d"
+  "bench_nvram_ablation"
+  "bench_nvram_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nvram_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_blockstates.dir/bench_table1_blockstates.cc.o"
+  "CMakeFiles/bench_table1_blockstates.dir/bench_table1_blockstates.cc.o.d"
+  "bench_table1_blockstates"
+  "bench_table1_blockstates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_blockstates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

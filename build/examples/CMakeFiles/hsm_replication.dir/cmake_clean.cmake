@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsm_replication.dir/hsm_replication.cpp.o"
+  "CMakeFiles/hsm_replication.dir/hsm_replication.cpp.o.d"
+  "hsm_replication"
+  "hsm_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsm_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirroring.dir/mirroring.cpp.o"
+  "CMakeFiles/mirroring.dir/mirroring.cpp.o.d"
+  "mirroring"
+  "mirroring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirroring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stupidity_recovery.dir/stupidity_recovery.cpp.o"
+  "CMakeFiles/stupidity_recovery.dir/stupidity_recovery.cpp.o.d"
+  "stupidity_recovery"
+  "stupidity_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stupidity_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bkup_backup.dir/charge.cc.o"
+  "CMakeFiles/bkup_backup.dir/charge.cc.o.d"
+  "CMakeFiles/bkup_backup.dir/filer.cc.o"
+  "CMakeFiles/bkup_backup.dir/filer.cc.o.d"
+  "CMakeFiles/bkup_backup.dir/jobs.cc.o"
+  "CMakeFiles/bkup_backup.dir/jobs.cc.o.d"
+  "CMakeFiles/bkup_backup.dir/parallel.cc.o"
+  "CMakeFiles/bkup_backup.dir/parallel.cc.o.d"
+  "CMakeFiles/bkup_backup.dir/report.cc.o"
+  "CMakeFiles/bkup_backup.dir/report.cc.o.d"
+  "libbkup_backup.a"
+  "libbkup_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bkup_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

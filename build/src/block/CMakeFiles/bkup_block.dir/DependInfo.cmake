@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/disk.cc" "src/block/CMakeFiles/bkup_block.dir/disk.cc.o" "gcc" "src/block/CMakeFiles/bkup_block.dir/disk.cc.o.d"
+  "/root/repo/src/block/io_trace.cc" "src/block/CMakeFiles/bkup_block.dir/io_trace.cc.o" "gcc" "src/block/CMakeFiles/bkup_block.dir/io_trace.cc.o.d"
+  "/root/repo/src/block/tape.cc" "src/block/CMakeFiles/bkup_block.dir/tape.cc.o" "gcc" "src/block/CMakeFiles/bkup_block.dir/tape.cc.o.d"
+  "/root/repo/src/block/tape_library.cc" "src/block/CMakeFiles/bkup_block.dir/tape_library.cc.o" "gcc" "src/block/CMakeFiles/bkup_block.dir/tape_library.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bkup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bkup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

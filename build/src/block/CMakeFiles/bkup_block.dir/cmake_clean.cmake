@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bkup_block.dir/disk.cc.o"
+  "CMakeFiles/bkup_block.dir/disk.cc.o.d"
+  "CMakeFiles/bkup_block.dir/io_trace.cc.o"
+  "CMakeFiles/bkup_block.dir/io_trace.cc.o.d"
+  "CMakeFiles/bkup_block.dir/tape.cc.o"
+  "CMakeFiles/bkup_block.dir/tape.cc.o.d"
+  "CMakeFiles/bkup_block.dir/tape_library.cc.o"
+  "CMakeFiles/bkup_block.dir/tape_library.cc.o.d"
+  "libbkup_block.a"
+  "libbkup_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bkup_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

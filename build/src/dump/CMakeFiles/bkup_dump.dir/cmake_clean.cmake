@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bkup_dump.dir/catalog.cc.o"
+  "CMakeFiles/bkup_dump.dir/catalog.cc.o.d"
+  "CMakeFiles/bkup_dump.dir/dumpdates.cc.o"
+  "CMakeFiles/bkup_dump.dir/dumpdates.cc.o.d"
+  "CMakeFiles/bkup_dump.dir/format.cc.o"
+  "CMakeFiles/bkup_dump.dir/format.cc.o.d"
+  "CMakeFiles/bkup_dump.dir/logical_dump.cc.o"
+  "CMakeFiles/bkup_dump.dir/logical_dump.cc.o.d"
+  "CMakeFiles/bkup_dump.dir/logical_restore.cc.o"
+  "CMakeFiles/bkup_dump.dir/logical_restore.cc.o.d"
+  "CMakeFiles/bkup_dump.dir/verify.cc.o"
+  "CMakeFiles/bkup_dump.dir/verify.cc.o.d"
+  "libbkup_dump.a"
+  "libbkup_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bkup_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

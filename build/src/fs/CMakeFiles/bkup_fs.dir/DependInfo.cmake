@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/blockmap.cc" "src/fs/CMakeFiles/bkup_fs.dir/blockmap.cc.o" "gcc" "src/fs/CMakeFiles/bkup_fs.dir/blockmap.cc.o.d"
+  "/root/repo/src/fs/file_tree.cc" "src/fs/CMakeFiles/bkup_fs.dir/file_tree.cc.o" "gcc" "src/fs/CMakeFiles/bkup_fs.dir/file_tree.cc.o.d"
+  "/root/repo/src/fs/filesystem.cc" "src/fs/CMakeFiles/bkup_fs.dir/filesystem.cc.o" "gcc" "src/fs/CMakeFiles/bkup_fs.dir/filesystem.cc.o.d"
+  "/root/repo/src/fs/layout.cc" "src/fs/CMakeFiles/bkup_fs.dir/layout.cc.o" "gcc" "src/fs/CMakeFiles/bkup_fs.dir/layout.cc.o.d"
+  "/root/repo/src/fs/reader.cc" "src/fs/CMakeFiles/bkup_fs.dir/reader.cc.o" "gcc" "src/fs/CMakeFiles/bkup_fs.dir/reader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/raid/CMakeFiles/bkup_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/bkup_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bkup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bkup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

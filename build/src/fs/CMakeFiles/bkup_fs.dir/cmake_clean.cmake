@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bkup_fs.dir/blockmap.cc.o"
+  "CMakeFiles/bkup_fs.dir/blockmap.cc.o.d"
+  "CMakeFiles/bkup_fs.dir/file_tree.cc.o"
+  "CMakeFiles/bkup_fs.dir/file_tree.cc.o.d"
+  "CMakeFiles/bkup_fs.dir/filesystem.cc.o"
+  "CMakeFiles/bkup_fs.dir/filesystem.cc.o.d"
+  "CMakeFiles/bkup_fs.dir/layout.cc.o"
+  "CMakeFiles/bkup_fs.dir/layout.cc.o.d"
+  "CMakeFiles/bkup_fs.dir/reader.cc.o"
+  "CMakeFiles/bkup_fs.dir/reader.cc.o.d"
+  "libbkup_fs.a"
+  "libbkup_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bkup_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bkup_image.dir/blockset.cc.o"
+  "CMakeFiles/bkup_image.dir/blockset.cc.o.d"
+  "CMakeFiles/bkup_image.dir/image_dump.cc.o"
+  "CMakeFiles/bkup_image.dir/image_dump.cc.o.d"
+  "CMakeFiles/bkup_image.dir/image_format.cc.o"
+  "CMakeFiles/bkup_image.dir/image_format.cc.o.d"
+  "CMakeFiles/bkup_image.dir/mirror.cc.o"
+  "CMakeFiles/bkup_image.dir/mirror.cc.o.d"
+  "libbkup_image.a"
+  "libbkup_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bkup_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bkup_raid.dir/raid_group.cc.o"
+  "CMakeFiles/bkup_raid.dir/raid_group.cc.o.d"
+  "CMakeFiles/bkup_raid.dir/volume.cc.o"
+  "CMakeFiles/bkup_raid.dir/volume.cc.o.d"
+  "libbkup_raid.a"
+  "libbkup_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bkup_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

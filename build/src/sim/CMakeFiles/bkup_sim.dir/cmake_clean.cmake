@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bkup_sim.dir/environment.cc.o"
+  "CMakeFiles/bkup_sim.dir/environment.cc.o.d"
+  "CMakeFiles/bkup_sim.dir/resource.cc.o"
+  "CMakeFiles/bkup_sim.dir/resource.cc.o.d"
+  "libbkup_sim.a"
+  "libbkup_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bkup_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

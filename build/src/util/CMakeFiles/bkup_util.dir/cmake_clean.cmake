@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bkup_util.dir/bitmap.cc.o"
+  "CMakeFiles/bkup_util.dir/bitmap.cc.o.d"
+  "CMakeFiles/bkup_util.dir/checksum.cc.o"
+  "CMakeFiles/bkup_util.dir/checksum.cc.o.d"
+  "CMakeFiles/bkup_util.dir/logging.cc.o"
+  "CMakeFiles/bkup_util.dir/logging.cc.o.d"
+  "CMakeFiles/bkup_util.dir/serdes.cc.o"
+  "CMakeFiles/bkup_util.dir/serdes.cc.o.d"
+  "CMakeFiles/bkup_util.dir/stats.cc.o"
+  "CMakeFiles/bkup_util.dir/stats.cc.o.d"
+  "CMakeFiles/bkup_util.dir/status.cc.o"
+  "CMakeFiles/bkup_util.dir/status.cc.o.d"
+  "CMakeFiles/bkup_util.dir/units.cc.o"
+  "CMakeFiles/bkup_util.dir/units.cc.o.d"
+  "libbkup_util.a"
+  "libbkup_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bkup_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

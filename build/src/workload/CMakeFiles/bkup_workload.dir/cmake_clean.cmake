@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bkup_workload.dir/aging.cc.o"
+  "CMakeFiles/bkup_workload.dir/aging.cc.o.d"
+  "CMakeFiles/bkup_workload.dir/population.cc.o"
+  "CMakeFiles/bkup_workload.dir/population.cc.o.d"
+  "libbkup_workload.a"
+  "libbkup_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bkup_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_jobs_test.dir/backup_jobs_test.cc.o"
+  "CMakeFiles/backup_jobs_test.dir/backup_jobs_test.cc.o.d"
+  "backup_jobs_test"
+  "backup_jobs_test.pdb"
+  "backup_jobs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_jobs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

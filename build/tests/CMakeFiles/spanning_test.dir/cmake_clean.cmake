@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spanning_test.dir/spanning_test.cc.o"
+  "CMakeFiles/spanning_test.dir/spanning_test.cc.o.d"
+  "spanning_test"
+  "spanning_test.pdb"
+  "spanning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spanning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_charge_test.dir/sync_charge_test.cc.o"
+  "CMakeFiles/sync_charge_test.dir/sync_charge_test.cc.o.d"
+  "sync_charge_test"
+  "sync_charge_test.pdb"
+  "sync_charge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_charge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
