@@ -37,9 +37,9 @@ int Run() {
   // Inject the same three 2 KB media defects into both tapes.
   for (Tape* tape : {b.tapes[0].get(), b.tapes[1].get()}) {
     const uint64_t size = tape->size();
-    tape->CorruptAt(size / 4, 2048);
-    tape->CorruptAt(size / 2, 2048);
-    tape->CorruptAt(3 * size / 4, 2048);
+    bench::CheckStatus(tape->CorruptRange(size / 4, 2048), "corrupt");
+    bench::CheckStatus(tape->CorruptRange(size / 2, 2048), "corrupt");
+    bench::CheckStatus(tape->CorruptRange(3 * size / 4, 2048), "corrupt");
   }
 
   // Logical restore: skips damaged records and salvages the rest.

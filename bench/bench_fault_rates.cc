@@ -1,0 +1,118 @@
+// Robustness economics: how a rising transient-error rate on the disk
+// subsystem taxes logical vs physical backup when both run supervised
+// (retry + exponential backoff, per src/backup/supervisor.h).
+//
+// The paper's §3/§4 robustness discussion is qualitative; this bench puts
+// numbers on it: every disk in the volume fails each access with
+// probability p, the jobs retry through it, and the table reports the
+// throughput and the retry bill at p = 0%, 0.1% and 1%.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/backup/supervisor.h"
+#include "src/faults/fault_injector.h"
+
+namespace bkup {
+namespace {
+
+struct Row {
+  double rate;
+  double logical_mbps = 0;
+  uint64_t logical_retries = 0;
+  double image_mbps = 0;
+  uint64_t image_retries = 0;
+};
+
+bench::SetupOptions Setup() {
+  bench::SetupOptions opts;
+  opts.data_bytes = 48 * kMiB;
+  opts.aged = false;
+  return opts;
+}
+
+// Each measurement gets a fresh bench (and so a fresh deterministic access
+// sequence) with every disk of the home volume armed at `rate`.
+JobReport RunLogical(double rate) {
+  bench::Bench b(Setup());
+  FaultPlan plan;
+  plan.DiskFlaky("", rate);
+  FaultInjector injector(&b.env, plan);
+  injector.Arm(b.home.get());
+  SupervisionPolicy policy;
+  LogicalBackupJobResult r;
+  CountdownLatch done(&b.env, 1);
+  LogicalDumpOptions opt;
+  opt.volume_name = "home";
+  b.env.Spawn(SupervisedLogicalBackupJob(b.filer.get(), b.fs.get(),
+                                         b.drives[0].get(), opt, &policy, &r,
+                                         &done));
+  b.env.Run();
+  bench::CheckStatus(r.report.status, "supervised logical backup");
+  r.report.name = "Logical Backup";
+  return r.report;
+}
+
+JobReport RunImage(double rate) {
+  bench::Bench b(Setup());
+  FaultPlan plan;
+  plan.DiskFlaky("", rate);
+  FaultInjector injector(&b.env, plan);
+  injector.Arm(b.home.get());
+  SupervisionPolicy policy;
+  ImageBackupJobResult r;
+  CountdownLatch done(&b.env, 1);
+  b.env.Spawn(SupervisedImageBackupJob(b.filer.get(), b.fs.get(),
+                                       b.drives[1].get(), ImageDumpOptions{},
+                                       /*delete_snapshot_after=*/true,
+                                       &policy, &r, &done));
+  b.env.Run();
+  bench::CheckStatus(r.report.status, "supervised physical backup");
+  r.report.name = "Physical Backup";
+  return r.report;
+}
+
+int Run() {
+  const double kRates[] = {0.0, 0.001, 0.01};
+  Row rows[3];
+  for (int i = 0; i < 3; ++i) {
+    rows[i].rate = kRates[i];
+    const JobReport logical = RunLogical(kRates[i]);
+    rows[i].logical_mbps = logical.MBps();
+    rows[i].logical_retries = logical.faults.disk_retries;
+    const JobReport image = RunImage(kRates[i]);
+    rows[i].image_mbps = image.MBps();
+    rows[i].image_retries = image.faults.disk_retries;
+  }
+
+  bench::PrintBanner(
+      "Transient disk error rate vs supervised backup throughput",
+      "OSDI'99 paper, Sections 3-4 (robustness discussion), quantified");
+  std::printf("%-12s %14s %16s %14s %16s\n", "error rate", "logical MB/s",
+              "logical retries", "image MB/s", "image retries");
+  for (const Row& row : rows) {
+    std::printf("%10.2f%% %14.2f %16llu %14.2f %16llu\n", row.rate * 100.0,
+                row.logical_mbps, (unsigned long long)row.logical_retries,
+                row.image_mbps, (unsigned long long)row.image_retries);
+  }
+
+  // Logical dump's disk path sits on the critical path, so its throughput
+  // pays for every backoff; the image dump is tape-bound and absorbs disk
+  // retries behind the streaming drive.
+  const bool ok = rows[0].logical_retries == 0 && rows[0].image_retries == 0 &&
+                  rows[2].logical_retries > 0 && rows[2].image_retries > 0 &&
+                  rows[1].logical_retries <= rows[2].logical_retries &&
+                  rows[1].image_retries <= rows[2].image_retries &&
+                  rows[2].logical_mbps < rows[0].logical_mbps &&
+                  rows[2].image_mbps <= rows[0].image_mbps * 1.001;
+  std::printf("RESULT: %s\n",
+              ok ? "both strategies absorb transient errors; the retry bill "
+                   "grows with the error rate and only the disk-bound "
+                   "logical dump slows down"
+                 : "SHAPE MISMATCH");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bkup
+
+int main() { return bkup::Run(); }

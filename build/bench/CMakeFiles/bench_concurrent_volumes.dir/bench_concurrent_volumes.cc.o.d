@@ -200,25 +200,27 @@ bench/CMakeFiles/bench_concurrent_volumes.dir/bench_concurrent_volumes.cc.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/backup/jobs.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/backup/charge.h \
- /root/repo/src/raid/volume.h /root/repo/src/block/disk.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
+ /root/repo/src/backup/report.h /root/repo/src/block/io_trace.h \
+ /root/repo/src/block/block.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/sim/resource.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/environment.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/units.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/raid/volume.h \
+ /root/repo/src/block/disk.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/block/block.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/sim/environment.h /usr/include/c++/12/coroutine \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/task.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/units.h \
- /root/repo/src/sim/resource.h /root/repo/src/util/status.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/block/fault_hook.h \
  /root/repo/src/raid/raid_group.h /root/repo/src/backup/filer.h \
- /root/repo/src/block/io_trace.h /root/repo/src/backup/report.h \
  /root/repo/src/block/tape.h /root/repo/src/dump/logical_dump.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_rates.dir/bench_fault_rates.cc.o"
+  "CMakeFiles/bench_fault_rates.dir/bench_fault_rates.cc.o.d"
+  "bench_fault_rates"
+  "bench_fault_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

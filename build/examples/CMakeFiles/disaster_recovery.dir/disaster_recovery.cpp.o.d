@@ -120,12 +120,28 @@ examples/CMakeFiles/disaster_recovery.dir/disaster_recovery.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/backup/charge.h \
- /root/repo/src/raid/volume.h /usr/include/c++/12/memory \
+ /root/repo/src/backup/report.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/block/io_trace.h \
+ /root/repo/src/block/block.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/sim/resource.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/environment.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/bits/uses_allocator.h /root/repo/src/sim/task.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/units.h /root/repo/src/util/status.h \
+ /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/raid/volume.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/ostream /usr/include/c++/12/ios \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
@@ -196,28 +212,13 @@ examples/CMakeFiles/disaster_recovery.dir/disaster_recovery.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/block/disk.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/block/disk.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/block/block.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/sim/environment.h /usr/include/c++/12/coroutine \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/task.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/units.h \
- /root/repo/src/sim/resource.h /root/repo/src/util/status.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/block/fault_hook.h \
  /root/repo/src/raid/raid_group.h /root/repo/src/backup/filer.h \
- /root/repo/src/block/io_trace.h /root/repo/src/backup/report.h \
  /root/repo/src/block/tape.h /root/repo/src/dump/logical_dump.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \

@@ -221,16 +221,17 @@ examples/CMakeFiles/mirroring.dir/mirroring.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/raid/volume.h \
- /root/repo/src/block/disk.h /root/repo/src/sim/environment.h \
- /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/task.h /root/repo/src/util/units.h \
- /root/repo/src/sim/resource.h /root/repo/src/raid/raid_group.h \
- /root/repo/src/image/image_dump.h /root/repo/src/block/io_trace.h \
- /root/repo/src/image/blockset.h /root/repo/src/image/image_format.h \
- /root/repo/src/util/random.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/block/disk.h /root/repo/src/block/fault_hook.h \
+ /root/repo/src/sim/environment.h /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.h \
+ /root/repo/src/util/units.h /root/repo/src/sim/resource.h \
+ /root/repo/src/raid/raid_group.h /root/repo/src/image/image_dump.h \
+ /root/repo/src/block/io_trace.h /root/repo/src/image/blockset.h \
+ /root/repo/src/image/image_format.h /root/repo/src/util/random.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -8,6 +8,7 @@ subdirs("util")
 subdirs("sim")
 subdirs("block")
 subdirs("raid")
+subdirs("faults")
 subdirs("fs")
 subdirs("dump")
 subdirs("image")

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/backup/jobs.cc" "src/backup/CMakeFiles/bkup_backup.dir/jobs.cc.o" "gcc" "src/backup/CMakeFiles/bkup_backup.dir/jobs.cc.o.d"
   "/root/repo/src/backup/parallel.cc" "src/backup/CMakeFiles/bkup_backup.dir/parallel.cc.o" "gcc" "src/backup/CMakeFiles/bkup_backup.dir/parallel.cc.o.d"
   "/root/repo/src/backup/report.cc" "src/backup/CMakeFiles/bkup_backup.dir/report.cc.o" "gcc" "src/backup/CMakeFiles/bkup_backup.dir/report.cc.o.d"
+  "/root/repo/src/backup/supervisor.cc" "src/backup/CMakeFiles/bkup_backup.dir/supervisor.cc.o" "gcc" "src/backup/CMakeFiles/bkup_backup.dir/supervisor.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/bkup_backup.dir/parallel.cc.o.d"
   "CMakeFiles/bkup_backup.dir/report.cc.o"
   "CMakeFiles/bkup_backup.dir/report.cc.o.d"
+  "CMakeFiles/bkup_backup.dir/supervisor.cc.o"
+  "CMakeFiles/bkup_backup.dir/supervisor.cc.o.d"
   "libbkup_backup.a"
   "libbkup_backup.pdb"
 )

@@ -225,7 +225,8 @@ src/dump/CMakeFiles/bkup_dump.dir/catalog.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/block/disk.h \
- /root/repo/src/sim/environment.h /usr/include/c++/12/coroutine \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/task.h /root/repo/src/util/units.h \
- /root/repo/src/sim/resource.h /root/repo/src/raid/raid_group.h
+ /root/repo/src/block/fault_hook.h /root/repo/src/sim/environment.h \
+ /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.h \
+ /root/repo/src/util/units.h /root/repo/src/sim/resource.h \
+ /root/repo/src/raid/raid_group.h

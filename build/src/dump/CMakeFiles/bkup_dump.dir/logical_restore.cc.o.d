@@ -226,13 +226,13 @@ src/dump/CMakeFiles/bkup_dump.dir/logical_restore.cc.o: \
  /root/repo/src/fs/blockmap.h /root/repo/src/fs/nvram.h \
  /root/repo/src/fs/reader.h /root/repo/src/fs/file_tree.h \
  /root/repo/src/raid/volume.h /root/repo/src/block/disk.h \
- /root/repo/src/sim/environment.h /usr/include/c++/12/coroutine \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.h \
- /root/repo/src/util/units.h /root/repo/src/sim/resource.h \
- /root/repo/src/raid/raid_group.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/block/fault_hook.h /root/repo/src/sim/environment.h \
+ /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/task.h /root/repo/src/util/units.h \
+ /root/repo/src/sim/resource.h /root/repo/src/raid/raid_group.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bkup_faults.dir/fault_injector.cc.o"
+  "CMakeFiles/bkup_faults.dir/fault_injector.cc.o.d"
+  "libbkup_faults.a"
+  "libbkup_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bkup_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbkup_faults.a"
+)

@@ -221,12 +221,13 @@ src/fs/CMakeFiles/bkup_fs.dir/filesystem.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/raid/volume.h \
- /root/repo/src/block/disk.h /root/repo/src/sim/environment.h \
- /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/task.h /root/repo/src/util/units.h \
- /root/repo/src/sim/resource.h /root/repo/src/raid/raid_group.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/block/disk.h /root/repo/src/block/fault_hook.h \
+ /root/repo/src/sim/environment.h /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.h \
+ /root/repo/src/util/units.h /root/repo/src/sim/resource.h \
+ /root/repo/src/raid/raid_group.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

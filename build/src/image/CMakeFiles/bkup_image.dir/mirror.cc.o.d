@@ -222,11 +222,12 @@ src/image/CMakeFiles/bkup_image.dir/mirror.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/raid/volume.h \
- /root/repo/src/block/disk.h /root/repo/src/sim/environment.h \
- /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/task.h /root/repo/src/util/units.h \
- /root/repo/src/sim/resource.h /root/repo/src/raid/raid_group.h \
- /root/repo/src/image/image_dump.h /root/repo/src/block/io_trace.h \
- /root/repo/src/image/blockset.h /root/repo/src/image/image_format.h
+ /root/repo/src/block/disk.h /root/repo/src/block/fault_hook.h \
+ /root/repo/src/sim/environment.h /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.h \
+ /root/repo/src/util/units.h /root/repo/src/sim/resource.h \
+ /root/repo/src/raid/raid_group.h /root/repo/src/image/image_dump.h \
+ /root/repo/src/block/io_trace.h /root/repo/src/image/blockset.h \
+ /root/repo/src/image/image_format.h

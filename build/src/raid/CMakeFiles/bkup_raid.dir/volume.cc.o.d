@@ -206,14 +206,14 @@ src/raid/CMakeFiles/bkup_raid.dir/volume.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/block/block.h \
  /usr/include/c++/12/array /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/sim/environment.h \
- /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/util/units.h /root/repo/src/sim/resource.h \
- /root/repo/src/util/status.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/cstddef /root/repo/src/block/fault_hook.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/raid/raid_group.h
+ /root/repo/src/sim/environment.h /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/task.h /root/repo/src/util/units.h \
+ /root/repo/src/sim/resource.h /root/repo/src/raid/raid_group.h

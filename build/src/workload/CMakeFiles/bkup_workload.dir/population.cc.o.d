@@ -221,13 +221,14 @@ src/workload/CMakeFiles/bkup_workload.dir/population.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/util/bitmap.h \
  /root/repo/src/fs/nvram.h /root/repo/src/fs/reader.h \
  /root/repo/src/fs/file_tree.h /root/repo/src/raid/volume.h \
- /root/repo/src/block/disk.h /root/repo/src/sim/environment.h \
- /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/task.h /root/repo/src/util/units.h \
- /root/repo/src/sim/resource.h /root/repo/src/raid/raid_group.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/block/disk.h /root/repo/src/block/fault_hook.h \
+ /root/repo/src/sim/environment.h /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.h \
+ /root/repo/src/util/units.h /root/repo/src/sim/resource.h \
+ /root/repo/src/raid/raid_group.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

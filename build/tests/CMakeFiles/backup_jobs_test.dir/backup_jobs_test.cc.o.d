@@ -294,23 +294,24 @@ tests/CMakeFiles/backup_jobs_test.dir/backup_jobs_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/backup/jobs.h /usr/include/c++/12/span \
- /root/repo/src/backup/charge.h /root/repo/src/raid/volume.h \
- /root/repo/src/block/disk.h /root/repo/src/block/block.h \
- /usr/include/c++/12/cstring /root/repo/src/sim/environment.h \
- /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/task.h /root/repo/src/util/units.h \
- /root/repo/src/sim/resource.h /root/repo/src/util/status.h \
- /root/repo/src/raid/raid_group.h /root/repo/src/backup/filer.h \
- /root/repo/src/block/io_trace.h /root/repo/src/backup/report.h \
- /root/repo/src/block/tape.h /root/repo/src/dump/logical_dump.h \
- /root/repo/src/dump/format.h /root/repo/src/fs/layout.h \
- /root/repo/src/util/serdes.h /root/repo/src/util/bitmap.h \
- /root/repo/src/fs/reader.h /root/repo/src/fs/file_tree.h \
- /root/repo/src/dump/logical_restore.h /root/repo/src/dump/catalog.h \
- /root/repo/src/fs/filesystem.h /root/repo/src/fs/blockmap.h \
- /root/repo/src/fs/nvram.h /root/repo/src/image/image_dump.h \
- /root/repo/src/image/blockset.h /root/repo/src/image/image_format.h \
- /root/repo/src/sim/channel.h /root/repo/src/sim/sync.h \
- /root/repo/src/backup/parallel.h /root/repo/src/workload/population.h
+ /root/repo/src/backup/charge.h /root/repo/src/backup/report.h \
+ /root/repo/src/block/io_trace.h /root/repo/src/block/block.h \
+ /usr/include/c++/12/cstring /root/repo/src/sim/resource.h \
+ /usr/include/c++/12/coroutine /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/sim/environment.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.h \
+ /root/repo/src/util/units.h /root/repo/src/util/status.h \
+ /root/repo/src/raid/volume.h /root/repo/src/block/disk.h \
+ /root/repo/src/block/fault_hook.h /root/repo/src/raid/raid_group.h \
+ /root/repo/src/backup/filer.h /root/repo/src/block/tape.h \
+ /root/repo/src/dump/logical_dump.h /root/repo/src/dump/format.h \
+ /root/repo/src/fs/layout.h /root/repo/src/util/serdes.h \
+ /root/repo/src/util/bitmap.h /root/repo/src/fs/reader.h \
+ /root/repo/src/fs/file_tree.h /root/repo/src/dump/logical_restore.h \
+ /root/repo/src/dump/catalog.h /root/repo/src/fs/filesystem.h \
+ /root/repo/src/fs/blockmap.h /root/repo/src/fs/nvram.h \
+ /root/repo/src/image/image_dump.h /root/repo/src/image/blockset.h \
+ /root/repo/src/image/image_format.h /root/repo/src/sim/channel.h \
+ /root/repo/src/sim/sync.h /root/repo/src/backup/parallel.h \
+ /root/repo/src/workload/population.h

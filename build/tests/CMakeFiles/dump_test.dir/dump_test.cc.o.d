@@ -300,17 +300,18 @@ tests/CMakeFiles/dump_test.dir/dump_test.cc.o: \
  /root/repo/src/fs/layout.h /root/repo/src/util/serdes.h \
  /root/repo/src/util/bitmap.h /root/repo/src/fs/reader.h \
  /root/repo/src/fs/file_tree.h /root/repo/src/raid/volume.h \
- /root/repo/src/block/disk.h /root/repo/src/sim/environment.h \
- /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/task.h /root/repo/src/util/units.h \
- /root/repo/src/sim/resource.h /root/repo/src/raid/raid_group.h \
- /root/repo/src/dump/logical_restore.h /root/repo/src/dump/catalog.h \
- /root/repo/src/fs/filesystem.h /root/repo/src/fs/blockmap.h \
- /root/repo/src/fs/nvram.h /root/repo/src/util/checksum.h \
- /root/repo/src/util/random.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/block/disk.h /root/repo/src/block/fault_hook.h \
+ /root/repo/src/sim/environment.h /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.h \
+ /root/repo/src/util/units.h /root/repo/src/sim/resource.h \
+ /root/repo/src/raid/raid_group.h /root/repo/src/dump/logical_restore.h \
+ /root/repo/src/dump/catalog.h /root/repo/src/fs/filesystem.h \
+ /root/repo/src/fs/blockmap.h /root/repo/src/fs/nvram.h \
+ /root/repo/src/util/checksum.h /root/repo/src/util/random.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/faults_test.cc" "tests/CMakeFiles/faults_test.dir/faults_test.cc.o" "gcc" "tests/CMakeFiles/faults_test.dir/faults_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backup/CMakeFiles/bkup_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/bkup_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/dump/CMakeFiles/bkup_dump.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/bkup_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bkup_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/bkup_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/bkup_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/bkup_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bkup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bkup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -13,6 +13,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backup/CMakeFiles/bkup_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/bkup_faults.dir/DependInfo.cmake"
   "/root/repo/build/src/dump/CMakeFiles/bkup_dump.dir/DependInfo.cmake"
   "/root/repo/build/src/image/CMakeFiles/bkup_image.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/bkup_workload.dir/DependInfo.cmake"

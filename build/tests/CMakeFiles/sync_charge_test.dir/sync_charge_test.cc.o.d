@@ -294,12 +294,13 @@ tests/CMakeFiles/sync_charge_test.dir/sync_charge_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/backup/charge.h /usr/include/c++/12/span \
- /root/repo/src/raid/volume.h /root/repo/src/block/disk.h \
+ /root/repo/src/backup/report.h /root/repo/src/block/io_trace.h \
  /root/repo/src/block/block.h /usr/include/c++/12/cstring \
- /root/repo/src/sim/environment.h /usr/include/c++/12/coroutine \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.h \
- /root/repo/src/util/units.h /root/repo/src/sim/resource.h \
- /root/repo/src/util/status.h /root/repo/src/raid/raid_group.h \
- /root/repo/src/sim/sync.h
+ /root/repo/src/sim/resource.h /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/environment.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/task.h /root/repo/src/util/units.h \
+ /root/repo/src/util/status.h /root/repo/src/raid/volume.h \
+ /root/repo/src/block/disk.h /root/repo/src/block/fault_hook.h \
+ /root/repo/src/raid/raid_group.h /root/repo/src/sim/sync.h

@@ -20,3 +20,4 @@ include("/root/repo/build/tests/parallel_jobs_test[1]_include.cmake")
 include("/root/repo/build/tests/fs_edge_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
 include("/root/repo/build/tests/spanning_test[1]_include.cmake")
+include("/root/repo/build/tests/faults_test[1]_include.cmake")

@@ -9,6 +9,18 @@
 
 namespace bkup {
 
+SimDuration RetryPolicy::BackoffBefore(int retry) const {
+  double backoff = static_cast<double>(initial_backoff);
+  for (int i = 1; i < retry; ++i) {
+    backoff *= backoff_multiplier;
+    if (backoff >= static_cast<double>(max_backoff)) {
+      return max_backoff;
+    }
+  }
+  return std::min<SimDuration>(static_cast<SimDuration>(backoff),
+                               max_backoff);
+}
+
 namespace {
 
 struct Run {
@@ -16,10 +28,145 @@ struct Run {
   uint64_t count;
 };
 
-// Serves a list of runs on one disk, then signals the latch.
-Task DiskRuns(Disk* disk, std::vector<Run> runs, CountdownLatch* latch) {
+// RAID placement of a disk within its volume: the owning group and the
+// column index (parity == data_width()).
+struct GroupLocation {
+  RaidGroup* group = nullptr;
+  size_t column = 0;
+};
+
+GroupLocation FindGroupLocation(Volume* volume, Disk* disk) {
+  for (size_t g = 0; g < volume->num_groups(); ++g) {
+    RaidGroup* group = volume->group(g);
+    for (size_t c = 0; c < group->num_disks(); ++c) {
+      if (group->data_disk(c) == disk) {
+        return {group, c};
+      }
+    }
+  }
+  return {};
+}
+
+// One best-effort timed access used by the recovery paths (survivors of a
+// degraded group, rebuild sweeps). Errors on these members are ignored: a
+// second failure in the group is unrecoverable anyway and surfaces through
+// the primary path.
+Task MemberRun(Disk* disk, Run r, CountdownLatch* latch) {
+  co_await disk->TimedAccess(r.start, r.count);
+  latch->CountDown();
+}
+
+// Serves `r` without the dead column: every surviving member of the group
+// reads the same stripe range in parallel and the missing data is XOR'd
+// back together.
+Task DegradedRun(SimEnvironment* env, RaidGroup* group, size_t dead_column,
+                 Run r, FaultCounters* counters) {
+  std::vector<Disk*> members;
+  for (size_t c = 0; c < group->num_disks(); ++c) {
+    Disk* d = group->data_disk(c);
+    if (c != dead_column && !d->failed()) {
+      members.push_back(d);
+    }
+  }
+  if (members.empty()) {
+    co_return;
+  }
+  CountdownLatch latch(env, static_cast<int>(members.size()));
+  for (Disk* d : members) {
+    env->Spawn(MemberRun(d, r, &latch));
+  }
+  co_await latch.Wait();
+  if (counters != nullptr) {
+    counters->reconstruction_reads += r.count;
+  }
+}
+
+// Charges a full rebuild of one column: every member of the group — the
+// freshly swapped-in replacement included — streams its whole disk.
+Task ChargeRebuildSweep(SimEnvironment* env, RaidGroup* group,
+                        FaultCounters* counters) {
+  const Run sweep{0, group->blocks_per_disk()};
+  std::vector<Disk*> members;
+  for (size_t c = 0; c < group->num_disks(); ++c) {
+    Disk* d = group->data_disk(c);
+    if (!d->failed()) {
+      members.push_back(d);
+    }
+  }
+  if (members.empty()) {
+    co_return;
+  }
+  CountdownLatch latch(env, static_cast<int>(members.size()));
+  for (Disk* d : members) {
+    env->Spawn(MemberRun(d, sweep, &latch));
+  }
+  co_await latch.Wait();
+  if (counters != nullptr) {
+    counters->reconstruction_reads +=
+        sweep.count * (members.size() > 0 ? members.size() - 1 : 0);
+  }
+}
+
+// Serves a list of runs on one disk — retrying, rebuilding or degrading per
+// `policy` — then signals the latch. `error` collects the first
+// unrecoverable failure.
+Task DiskRuns(SimEnvironment* env, Volume* volume, Disk* disk,
+              std::vector<Run> runs, const DiskFaultPolicy* policy,
+              Status* error, CountdownLatch* latch) {
   for (const Run& r : runs) {
-    co_await disk->TimedAccess(r.start, r.count);
+    Status st;
+    int attempt = 0;
+    while (true) {
+      ++attempt;
+      co_await disk->TimedAccess(r.start, r.count, &st);
+      if (st.ok() || policy == nullptr) {
+        break;
+      }
+      FaultCounters* counters = policy->counters;
+      if (counters != nullptr) {
+        ++counters->disk_io_errors;
+      }
+      if (disk->failed()) {
+        // Permanent: swap in a hot spare and rebuild the column, or — with
+        // no spare left — serve this run degraded off the survivors.
+        const GroupLocation loc = FindGroupLocation(volume, disk);
+        if (!policy->reconstruct_on_failure || loc.group == nullptr ||
+            loc.group->failed_count() > 1) {
+          break;  // double failure (or foreign disk): *error gets st
+        }
+        if (counters != nullptr &&
+            counters->spare_disks_used <
+                static_cast<uint64_t>(std::max(0, policy->hot_spares))) {
+          ++counters->spare_disks_used;
+          disk->ReplaceWithBlank();
+          co_await ChargeRebuildSweep(env, loc.group, counters);
+          Status rebuilt = loc.group->Reconstruct(loc.column);
+          if (!rebuilt.ok()) {
+            st = rebuilt;
+            break;
+          }
+          // Re-issue on the rebuilt drive with a fresh retry budget (the
+          // re-issue may still hit a transient fault and re-enter the
+          // backoff ladder below).
+          attempt = 0;
+          continue;
+        }
+        co_await DegradedRun(env, loc.group, loc.column, r, counters);
+        st = Status::Ok();
+        break;
+      }
+      // Transient (the drive still answers): exponential backoff.
+      if (attempt >= policy->retry.max_attempts) {
+        break;
+      }
+      if (counters != nullptr) {
+        ++counters->disk_retries;
+      }
+      co_await env->Delay(policy->retry.BackoffBefore(attempt));
+    }
+    if (!st.ok() && error != nullptr && error->ok()) {
+      *error = st;
+    }
   }
   latch->CountDown();
 }
@@ -43,7 +190,8 @@ void AppendAccess(std::map<Disk*, std::vector<Run>>* per_disk, Disk* disk,
 }  // namespace
 
 Task ChargeDiskAccess(SimEnvironment* env, Volume* volume,
-                      std::span<const Vbn> vbns, bool parity_writes) {
+                      std::span<const Vbn> vbns, bool parity_writes,
+                      const DiskFaultPolicy* policy, Status* error) {
   std::map<Disk*, std::vector<Run>> per_disk;
   // Parity: per RAID group, mirror of the data run pattern (one parity
   // touch per distinct stripe, coalesced the same way).
@@ -69,13 +217,15 @@ Task ChargeDiskAccess(SimEnvironment* env, Volume* volume,
   }
   CountdownLatch latch(env, static_cast<int>(per_disk.size()));
   for (auto& [disk, runs] : per_disk) {
-    env->Spawn(DiskRuns(disk, std::move(runs), &latch));
+    env->Spawn(
+        DiskRuns(env, volume, disk, std::move(runs), policy, error, &latch));
   }
   co_await latch.Wait();
 }
 
 Task ChargeSequentialWrites(SimEnvironment* env, Volume* volume,
-                            uint64_t blocks) {
+                            uint64_t blocks, const DiskFaultPolicy* policy,
+                            Status* error) {
   if (blocks == 0) {
     co_return;
   }
@@ -97,7 +247,8 @@ Task ChargeSequentialWrites(SimEnvironment* env, Volume* volume,
   CountdownLatch latch(env, static_cast<int>(shares.size()));
   for (auto& [disk, count] : shares) {
     std::vector<Run> runs{Run{disk->head_position(), count}};
-    env->Spawn(DiskRuns(disk, std::move(runs), &latch));
+    env->Spawn(
+        DiskRuns(env, volume, disk, std::move(runs), policy, error, &latch));
   }
   co_await latch.Wait();
 }

@@ -12,19 +12,52 @@
 
 #include <span>
 
+#include "src/backup/report.h"
 #include "src/raid/volume.h"
 #include "src/sim/environment.h"
 #include "src/sim/task.h"
 
 namespace bkup {
 
+// Exponential-backoff schedule for transient device errors. The defaults
+// (10 attempts, 100 ms doubling to a 10 s ceiling, ~33 s of cumulative
+// backoff) outlast the transient windows the fault plans inject.
+struct RetryPolicy {
+  int max_attempts = 10;  // total attempts, including the first
+  SimDuration initial_backoff = 100 * kMillisecond;
+  double backoff_multiplier = 2.0;
+  SimDuration max_backoff = 10 * kSecond;
+
+  // Delay before retry number `retry` (1-based):
+  // initial * multiplier^(retry-1), capped at max_backoff.
+  SimDuration BackoffBefore(int retry) const;
+};
+
+// How the charging layer reacts when a disk access fails. Transient errors
+// are retried on the RetryPolicy schedule; a drive that is *failed* is
+// handled through RAID: swap in a hot spare and rebuild the column (charging
+// a full group sweep), or — with no spare left — serve each run degraded by
+// reading the surviving members of the group and reconstructing from parity.
+struct DiskFaultPolicy {
+  RetryPolicy retry;
+  bool reconstruct_on_failure = true;
+  int hot_spares = 0;                // replacement drives on the shelf
+  // Recovery bookkeeping; also gates the spare budget (spare swaps are
+  // skipped when null).
+  FaultCounters* counters = nullptr;
+};
+
 // Charges the arms of `volume` for accessing `vbns` in the given order.
 // Consecutive vbns that land contiguously on a disk coalesce into one
 // transfer. With `parity_writes`, each touched RAID group's parity disk is
 // charged a mirror of the heaviest data-disk run set in that group
-// (RAID-4 full-stripe write behaviour).
+// (RAID-4 full-stripe write behaviour). A non-null `policy` enables fault
+// recovery per the policy; the first unrecoverable error lands in `*error`
+// (which must then be non-null and start Ok).
 Task ChargeDiskAccess(SimEnvironment* env, Volume* volume,
-                      std::span<const Vbn> vbns, bool parity_writes);
+                      std::span<const Vbn> vbns, bool parity_writes,
+                      const DiskFaultPolicy* policy = nullptr,
+                      Status* error = nullptr);
 
 // Charges a purely sequential write-anywhere burst of `blocks` blocks
 // spread round-robin over all data disks (plus parity), each continuing
@@ -32,7 +65,9 @@ Task ChargeDiskAccess(SimEnvironment* env, Volume* volume,
 // allocator lays restored data out sequentially regardless of how the
 // stream was ordered.
 Task ChargeSequentialWrites(SimEnvironment* env, Volume* volume,
-                            uint64_t blocks);
+                            uint64_t blocks,
+                            const DiskFaultPolicy* policy = nullptr,
+                            Status* error = nullptr);
 
 }  // namespace bkup
 

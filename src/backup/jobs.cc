@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/backup/supervisor.h"
+
 namespace bkup {
 
 namespace {
@@ -12,15 +14,85 @@ struct Chunk {
   JobPhase phase;
 };
 
+// Recovers a failed tape write of stream[begin, end). On entry `*st` holds
+// the error. Transient errors back off and re-issue; an error that outlives
+// the retry budget is treated as a media fault: the mounted media is
+// abandoned for the next spare and everything it held — stream[*media_start,
+// begin) plus the failing piece — is rewritten from the checkpoint, exactly
+// the way a dump(8) operator re-feeds a tape after a write error. Nested
+// failures (a defective spare) loop back through the same ladder until the
+// spares run out.
+Task RecoverTapeWrite(ReplayConfig cfg, std::span<const uint8_t> stream,
+                      uint64_t begin, uint64_t end, size_t* next_spare,
+                      uint64_t* media_start, JobReport* report, Status* st) {
+  SimEnvironment* env = cfg.filer->env();
+  const SupervisionPolicy& sup = *cfg.supervision;
+  FaultCounters& faults = report->faults;
+  uint64_t cursor = begin;     // start of the piece whose write failed
+  uint64_t failed_at = begin;  // where the retry budget is being spent
+  int attempt = 1;
+  while (true) {
+    ++faults.tape_errors;
+    if (st->code() == ErrorCode::kNoSpace) {
+      co_return;  // capacity is the spanning path's job, not a fault
+    }
+    if (attempt < sup.tape_retry.max_attempts) {
+      ++faults.tape_retries;
+      co_await env->Delay(sup.tape_retry.BackoffBefore(attempt));
+      ++attempt;
+    } else {
+      // Persistent: remount a spare and rewind to the checkpoint.
+      if (!sup.remount_on_media_error ||
+          *next_spare >= cfg.spare_tapes.size()) {
+        co_return;  // unrecoverable; *st keeps the final error
+      }
+      Tape* spare = cfg.spare_tapes[(*next_spare)++];
+      co_await cfg.tape->TimedLoadMedia(spare);
+      ++faults.tape_remounts;
+      report->tapes_used.push_back(spare->label());
+      if (!report->final_media.empty()) {
+        report->final_media.pop_back();  // the abandoned media
+      }
+      report->final_media.push_back(spare->label());
+      faults.bytes_rewritten += cursor - *media_start;
+      cursor = *media_start;
+      failed_at = cursor;
+      attempt = 1;
+    }
+    // Replay [cursor, end) piecewise; stop at the first failure.
+    *st = Status::Ok();
+    while (cursor < end && st->ok()) {
+      const uint64_t n = std::min<uint64_t>(cfg.chunk_bytes, end - cursor);
+      co_await cfg.tape->TimedWrite(stream.subspan(cursor, n), st);
+      if (st->ok()) {
+        cursor += n;
+      }
+    }
+    if (st->ok()) {
+      co_return;
+    }
+    if (cursor != failed_at) {
+      failed_at = cursor;  // progress was made: fresh retry budget
+      attempt = 1;
+    }
+  }
+}
+
 // Consumer half of a backup pipeline: drains chunks to the tape, loading
 // the next spare media when the mounted one fills (multi-volume dumps).
+// Under supervision, write errors run the retry/remount ladder above.
 Task TapeWriterProc(ReplayConfig cfg, std::span<const uint8_t> stream,
                     Channel<Chunk>* channel, JobReport* report,
                     SimEvent* writer_done) {
   SimEnvironment* env = cfg.filer->env();
   size_t next_spare = 0;
+  // Checkpoint: the stream offset where the mounted media begins. Tape
+  // content is always stream[media_start, media_start + position), which is
+  // what makes abandon-and-rewrite possible.
+  uint64_t media_start = 0;
   if (cfg.tape->loaded()) {
     report->tapes_used.push_back(cfg.tape->tape()->label());
+    report->final_media.push_back(cfg.tape->tape()->label());
   }
   while (true) {
     std::optional<Chunk> chunk = co_await channel->Recv();
@@ -33,10 +105,16 @@ Task TapeWriterProc(ReplayConfig cfg, std::span<const uint8_t> stream,
       if (next_spare < cfg.spare_tapes.size()) {
         co_await cfg.tape->TimedLoadMedia(cfg.spare_tapes[next_spare++]);
         report->tapes_used.push_back(cfg.tape->tape()->label());
+        report->final_media.push_back(cfg.tape->tape()->label());
+        media_start = chunk->begin;
       }  // else fall through: the write fails with NoSpace below
     }
     Status st;
     co_await cfg.tape->TimedWrite(stream.subspan(chunk->begin, n), &st);
+    if (!st.ok() && cfg.supervision != nullptr) {
+      co_await RecoverTapeWrite(cfg, stream, chunk->begin, chunk->end,
+                                &next_spare, &media_start, report, &st);
+    }
     if (!st.ok() && report->status.ok()) {
       report->status = st;
     }
@@ -49,9 +127,12 @@ Task TapeWriterProc(ReplayConfig cfg, std::span<const uint8_t> stream,
 
 // Producer half of a restore pipeline: reads the tape and publishes how
 // many stream bytes have arrived, spanning onto the next media of a
-// multi-volume set as each tape runs dry.
+// multi-volume set as each tape runs dry. Under supervision, read errors
+// retry on the tape backoff schedule (a failed read does not advance the
+// head, so a re-issue is exact).
 Task TapeReaderProc(ReplayConfig cfg, uint64_t total_bytes,
                     Channel<uint64_t>* channel, JobReport* report) {
+  SimEnvironment* env = cfg.filer->env();
   std::vector<uint8_t> scratch(cfg.chunk_bytes);
   size_t next_spare = 0;
   if (cfg.tape->loaded()) {
@@ -77,6 +158,20 @@ Task TapeReaderProc(ReplayConfig cfg, uint64_t total_bytes,
         {cfg.chunk_bytes, total_bytes - pos, remaining_on_tape});
     Status st;
     co_await cfg.tape->TimedRead(std::span(scratch).first(n), &st);
+    if (!st.ok() && cfg.supervision != nullptr) {
+      const RetryPolicy& retry = cfg.supervision->tape_retry;
+      int attempt = 1;
+      while (!st.ok() && attempt < retry.max_attempts) {
+        ++report->faults.tape_errors;
+        ++report->faults.tape_retries;
+        co_await env->Delay(retry.BackoffBefore(attempt));
+        ++attempt;
+        co_await cfg.tape->TimedRead(std::span(scratch).first(n), &st);
+      }
+      if (!st.ok()) {
+        ++report->faults.tape_errors;
+      }
+    }
     if (!st.ok() && report->status.ok()) {
       report->status = st;
     }
@@ -88,23 +183,43 @@ Task TapeReaderProc(ReplayConfig cfg, uint64_t total_bytes,
 
 // Charges one event's disk reads, then signals its ready-event and frees a
 // slot in the read-ahead window.
-Task DiskFetch(ReplayConfig cfg, const IoEvent* event, SimEvent* ready,
-               Resource* window) {
+Task DiskFetch(ReplayConfig cfg, const IoEvent* event, JobReport* report,
+               SimEvent* ready, Resource* window) {
+  DiskFaultPolicy policy;
+  const DiskFaultPolicy* pp = nullptr;
+  if (cfg.supervision != nullptr) {
+    policy = cfg.supervision->MakeDiskPolicy(&report->faults);
+    pp = &policy;
+  }
+  Status error;
   co_await ChargeDiskAccess(cfg.filer->env(), cfg.volume, event->disk_reads,
-                            /*parity_writes=*/false);
+                            /*parity_writes=*/false, pp, &error);
+  if (!error.ok() && report->status.ok()) {
+    report->status = error;
+  }
   ready->Notify();
   window->Release();
 }
 
 // Write-behind worker for the restore side.
 Task DiskFlush(ReplayConfig cfg, std::vector<Vbn> writes,
-               uint64_t seq_blocks, Resource* window) {
+               uint64_t seq_blocks, JobReport* report, Resource* window) {
   SimEnvironment* env = cfg.filer->env();
+  DiskFaultPolicy policy;
+  const DiskFaultPolicy* pp = nullptr;
+  if (cfg.supervision != nullptr) {
+    policy = cfg.supervision->MakeDiskPolicy(&report->faults);
+    pp = &policy;
+  }
+  Status error;
   if (!writes.empty()) {
     co_await ChargeDiskAccess(env, cfg.volume, writes,
-                              /*parity_writes=*/true);
+                              /*parity_writes=*/true, pp, &error);
   } else if (seq_blocks > 0) {
-    co_await ChargeSequentialWrites(env, cfg.volume, seq_blocks);
+    co_await ChargeSequentialWrites(env, cfg.volume, seq_blocks, pp, &error);
+  }
+  if (!error.ok() && report->status.ok()) {
+    report->status = error;
   }
   window->Release();
 }
@@ -134,7 +249,8 @@ Task ReplayToTape(ReplayConfig cfg, const IoTrace* trace,
         ready[spawned]->Notify();
       } else {
         co_await window.Acquire();
-        env->Spawn(DiskFetch(cfg, &ev, ready[spawned].get(), &window));
+        env->Spawn(DiskFetch(cfg, &ev, report, ready[spawned].get(),
+                             &window));
       }
       ++spawned;
     }
@@ -196,7 +312,7 @@ Task ReplayFromTape(ReplayConfig cfg, const IoTrace* trace,
     if (!e.disk_writes.empty()) {
       // The engine knows the exact addresses (image restore).
       co_await write_window.Acquire();
-      env->Spawn(DiskFlush(cfg, e.disk_writes, 0, &write_window));
+      env->Spawn(DiskFlush(cfg, e.disk_writes, 0, report, &write_window));
       report->phase(e.phase).disk_bytes +=
           e.disk_writes.size() * kBlockSize;
     } else if (e.blocks_written > 0) {
@@ -205,7 +321,7 @@ Task ReplayFromTape(ReplayConfig cfg, const IoTrace* trace,
           static_cast<double>(e.blocks_written) *
           (1.0 + cfg.write_meta_multiplier));
       co_await write_window.Acquire();
-      env->Spawn(DiskFlush(cfg, {}, blocks, &write_window));
+      env->Spawn(DiskFlush(cfg, {}, blocks, report, &write_window));
       report->phase(e.phase).disk_bytes += blocks * kBlockSize;
     }
     report->TouchPhase(e.phase, env->now(), cfg.filer->cpu().BusyIntegral());
@@ -248,7 +364,8 @@ Task SnapshotPhase(Filer* filer, JobReport* report, JobPhase phase,
 Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                       LogicalDumpOptions options,
                       LogicalBackupJobResult* result, CountdownLatch* done,
-                      std::vector<Tape*> spare_tapes) {
+                      std::vector<Tape*> spare_tapes,
+                      const SupervisionPolicy* supervision) {
   SimEnvironment* env = filer->env();
   JobReport& report = result->report;
   report.name = "Logical backup";
@@ -267,6 +384,11 @@ Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                          filer->model().snapshot_create_time);
 
   options.dump_time = env->now();
+  if (supervision != nullptr && supervision->skip_unreadable_files) {
+    // Graceful degradation: a logical dump can drop what it cannot read
+    // and still produce a consistent stream; an image dump cannot.
+    options.skip_unreadable = true;
+  }
   Result<FsReader> reader = fs->SnapshotReader(snap);
   if (!reader.ok()) {
     report.status = reader.status();
@@ -280,12 +402,14 @@ Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
     co_return;
   }
   result->dump = std::move(*dump);
+  report.faults.files_skipped += result->dump.stats.files_skipped;
 
   ReplayConfig cfg;
   cfg.filer = filer;
   cfg.volume = fs->volume();
   cfg.tape = tape;
   cfg.spare_tapes = std::move(spare_tapes);
+  cfg.supervision = supervision;
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayToTape(cfg, &result->dump.trace, result->dump.stream,
                           &report, &replay_done));
@@ -307,7 +431,8 @@ Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
 Task LogicalRestoreJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                        LogicalRestoreOptions options, bool bypass_nvram,
                        LogicalRestoreJobResult* result, CountdownLatch* done,
-                       std::vector<Tape*> spare_tapes) {
+                       std::vector<Tape*> spare_tapes,
+                       const SupervisionPolicy* supervision) {
   SimEnvironment* env = filer->env();
   JobReport& report = result->report;
   report.name = bypass_nvram ? "Logical restore (NVRAM bypass)"
@@ -351,6 +476,7 @@ Task LogicalRestoreJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
   cfg.volume = fs->volume();
   cfg.tape = tape;
   cfg.spare_tapes = std::move(spare_tapes);
+  cfg.supervision = supervision;
   cfg.charge_nvram = !bypass_nvram;
   cfg.write_meta_multiplier =
       data_writes > 0
@@ -370,7 +496,9 @@ Task LogicalRestoreJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
 
 Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                     ImageDumpOptions options, bool delete_snapshot_after,
-                    ImageBackupJobResult* result, CountdownLatch* done) {
+                    ImageBackupJobResult* result, CountdownLatch* done,
+                    std::vector<Tape*> spare_tapes,
+                    const SupervisionPolicy* supervision) {
   SimEnvironment* env = filer->env();
   JobReport& report = result->report;
   report.name = "Physical backup";
@@ -406,6 +534,8 @@ Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
   cfg.filer = filer;
   cfg.volume = fs->volume();
   cfg.tape = tape;
+  cfg.spare_tapes = std::move(spare_tapes);
+  cfg.supervision = supervision;
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayToTape(cfg, &result->dump.trace, result->dump.stream,
                           &report, &replay_done));
@@ -427,7 +557,9 @@ Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
 }
 
 Task ImageRestoreJob(Filer* filer, Volume* volume, TapeDrive* tape,
-                     ImageRestoreJobResult* result, CountdownLatch* done) {
+                     ImageRestoreJobResult* result, CountdownLatch* done,
+                     std::vector<Tape*> spare_tapes,
+                     const SupervisionPolicy* supervision) {
   SimEnvironment* env = filer->env();
   JobReport& report = result->report;
   report.name = "Physical restore";
@@ -439,7 +571,17 @@ Task ImageRestoreJob(Filer* filer, Volume* volume, TapeDrive* tape,
     done->CountDown();
     co_return;
   }
-  const std::span<const uint8_t> stream = tape->tape()->contents();
+  // A multi-media image restores as the concatenation of its media.
+  std::vector<uint8_t> spanned;
+  std::span<const uint8_t> stream = tape->tape()->contents();
+  if (!spare_tapes.empty()) {
+    spanned.assign(stream.begin(), stream.end());
+    for (Tape* t : spare_tapes) {
+      spanned.insert(spanned.end(), t->contents().begin(),
+                     t->contents().end());
+    }
+    stream = spanned;
+  }
   Result<ImageRestoreOutput> restored = RunImageRestore(volume, stream);
   if (!restored.ok()) {
     report.status = restored.status();
@@ -452,6 +594,8 @@ Task ImageRestoreJob(Filer* filer, Volume* volume, TapeDrive* tape,
   cfg.filer = filer;
   cfg.volume = volume;
   cfg.tape = tape;
+  cfg.spare_tapes = std::move(spare_tapes);
+  cfg.supervision = supervision;
   cfg.charge_nvram = false;  // "bypass the NVRAM ... further enhancing
                              // performance"
   CountdownLatch replay_done(env, 1);

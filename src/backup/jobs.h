@@ -31,6 +31,8 @@
 
 namespace bkup {
 
+struct SupervisionPolicy;  // src/backup/supervisor.h
+
 struct ReplayConfig {
   Filer* filer = nullptr;
   Volume* volume = nullptr;
@@ -52,6 +54,10 @@ struct ReplayConfig {
   // "generates its own read-ahead policy") and restore-side write-behind
   // (consistency points flush asynchronously).
   size_t disk_window = 8;
+  // Fault recovery: when set, disk accesses retry/reconstruct and tape
+  // errors retry/remount per the policy, charging the work to the report's
+  // FaultCounters. Null = fail on first error (the pre-supervision model).
+  const SupervisionPolicy* supervision = nullptr;
 };
 
 // Replays a dump-side trace: charges disk reads and CPU per event and
@@ -79,7 +85,8 @@ struct LogicalBackupJobResult {
 Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                       LogicalDumpOptions options,
                       LogicalBackupJobResult* result, CountdownLatch* done,
-                      std::vector<Tape*> spare_tapes = {});
+                      std::vector<Tape*> spare_tapes = {},
+                      const SupervisionPolicy* supervision = nullptr);
 
 struct LogicalRestoreJobResult {
   LogicalRestoreOutput restore;
@@ -92,7 +99,8 @@ struct LogicalRestoreJobResult {
 Task LogicalRestoreJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                        LogicalRestoreOptions options, bool bypass_nvram,
                        LogicalRestoreJobResult* result, CountdownLatch* done,
-                       std::vector<Tape*> spare_tapes = {});
+                       std::vector<Tape*> spare_tapes = {},
+                       const SupervisionPolicy* supervision = nullptr);
 
 struct ImageBackupJobResult {
   ImageDumpOutput dump;
@@ -104,7 +112,9 @@ struct ImageBackupJobResult {
 // later incremental.
 Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                     ImageDumpOptions options, bool delete_snapshot_after,
-                    ImageBackupJobResult* result, CountdownLatch* done);
+                    ImageBackupJobResult* result, CountdownLatch* done,
+                    std::vector<Tape*> spare_tapes = {},
+                    const SupervisionPolicy* supervision = nullptr);
 
 struct ImageRestoreJobResult {
   ImageRestoreOutput restore;
@@ -112,8 +122,12 @@ struct ImageRestoreJobResult {
 };
 
 // Restores an image stream from `tape` straight through the RAID layer.
+// A multi-media image (after a supervised backup's remounts) restores as
+// the concatenation of `tape`'s media and `spare_tapes`.
 Task ImageRestoreJob(Filer* filer, Volume* volume, TapeDrive* tape,
-                     ImageRestoreJobResult* result, CountdownLatch* done);
+                     ImageRestoreJobResult* result, CountdownLatch* done,
+                     std::vector<Tape*> spare_tapes = {},
+                     const SupervisionPolicy* supervision = nullptr);
 
 // Charges a snapshot create/delete window (~30 s at ~50% CPU) and records
 // it as `phase` in the report. Exposed for composed multi-tape jobs.

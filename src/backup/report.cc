@@ -4,6 +4,18 @@
 
 namespace bkup {
 
+void FaultCounters::Add(const FaultCounters& o) {
+  disk_io_errors += o.disk_io_errors;
+  disk_retries += o.disk_retries;
+  reconstruction_reads += o.reconstruction_reads;
+  spare_disks_used += o.spare_disks_used;
+  tape_errors += o.tape_errors;
+  tape_retries += o.tape_retries;
+  tape_remounts += o.tape_remounts;
+  bytes_rewritten += o.bytes_rewritten;
+  files_skipped += o.files_skipped;
+}
+
 void JobReport::TouchPhase(JobPhase p, SimTime now, int64_t cpu_busy) {
   PhaseStats& stats = phase(p);
   if (!stats.active()) {
@@ -113,6 +125,11 @@ JobReport MergeReports(const std::string& name,
     if (!r.status.ok() && merged.status.ok()) {
       merged.status = r.status;
     }
+    merged.faults.Add(r.faults);
+    merged.tapes_used.insert(merged.tapes_used.end(), r.tapes_used.begin(),
+                             r.tapes_used.end());
+    merged.final_media.insert(merged.final_media.end(), r.final_media.begin(),
+                              r.final_media.end());
     for (int i = 0; i < static_cast<int>(JobPhase::kCount); ++i) {
       const PhaseStats& p = r.phases[i];
       if (!p.active()) {

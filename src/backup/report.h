@@ -37,13 +37,43 @@ struct PhaseStats {
   }
 };
 
+// Recovery work a job performed in response to injected (or organic) device
+// faults. All zero on a clean run; with the same fault plan, seed and
+// workload, identical across runs — which is what makes fault scenarios
+// regression-testable.
+struct FaultCounters {
+  uint64_t disk_io_errors = 0;         // failed timed disk accesses observed
+  uint64_t disk_retries = 0;           // accesses re-issued after backoff
+  uint64_t reconstruction_reads = 0;   // blocks served via RAID degraded path
+  uint64_t spare_disks_used = 0;       // hot-spare swaps + rebuilds
+  uint64_t tape_errors = 0;            // failed tape transfers observed
+  uint64_t tape_retries = 0;           // transfers re-issued after backoff
+  uint64_t tape_remounts = 0;          // media abandoned for a spare
+  uint64_t bytes_rewritten = 0;        // stream bytes re-sent after remounts
+  uint64_t files_skipped = 0;          // unreadable files dropped from a dump
+
+  bool any() const {
+    return disk_io_errors + disk_retries + reconstruction_reads +
+               spare_disks_used + tape_errors + tape_retries + tape_remounts +
+               bytes_rewritten + files_skipped >
+           0;
+  }
+  void Add(const FaultCounters& o);
+  bool operator==(const FaultCounters&) const = default;
+};
+
 struct JobReport {
   std::string name;
   SimTime start_time = 0;
   SimTime end_time = 0;
   uint64_t stream_bytes = 0;  // backup/restore payload moved
   uint64_t data_bytes = 0;    // user data represented by the stream
-  std::vector<std::string> tapes_used;  // media labels, in write order
+  std::vector<std::string> tapes_used;  // media labels, in mount order
+  // Media that actually hold the stream at job end: like tapes_used but with
+  // media abandoned after an error dropped. Restores of a supervised backup
+  // must read this set, in this order.
+  std::vector<std::string> final_media;
+  FaultCounters faults;
   Status status;
   std::array<PhaseStats, static_cast<int>(JobPhase::kCount)> phases{};
 

@@ -75,14 +75,28 @@ SimDuration Disk::AccessTime(Dbn dbn, uint64_t count) const {
   return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
 }
 
-Task Disk::TimedAccess(Dbn dbn, uint64_t count) {
+Task Disk::TimedAccess(Dbn dbn, uint64_t count, Status* status) {
   co_await arm_.Acquire();
   // Compute the access time under the arm so queued requests pay the seek
   // from wherever the previous request left the head.
   const SimDuration t = AccessTime(dbn, count);
   co_await env_->Delay(t);
-  head_ = dbn + count;
-  bytes_transferred_ += count * kBlockSize;
+  Status st = Status::Ok();
+  if (fault_hook_ != nullptr) {
+    st = fault_hook_->OnDiskAccess(this, count);
+  }
+  // Re-check after the delay: a Fail() that landed while this access was in
+  // flight surfaces to the waiting job instead of silently completing.
+  if (st.ok() && failed_) {
+    st = IoError(name_ + ": drive failed");
+  }
+  if (st.ok()) {
+    head_ = dbn + count;
+    bytes_transferred_ += count * kBlockSize;
+  }
+  if (status != nullptr) {
+    *status = st;
+  }
   arm_.Release();
 }
 

@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "src/block/block.h"
+#include "src/block/fault_hook.h"
 #include "src/sim/environment.h"
 #include "src/sim/resource.h"
 #include "src/sim/task.h"
@@ -55,11 +56,17 @@ class Disk {
   // --------------------------------------------------------- failures ---
 
   // A failed disk errors all data access until repaired; used by the RAID
-  // reconstruction tests.
+  // reconstruction tests. An access already in flight also fails: TimedAccess
+  // re-checks the flag after paying the access time.
   void Fail() { failed_ = true; }
   // Replaces the drive with a fresh (empty) one, as a field engineer would.
   void ReplaceWithBlank();
   bool failed() const { return failed_; }
+
+  // Arms the drive against a fault engine; every TimedAccess consults the
+  // hook. Null disarms.
+  void set_fault_hook(DeviceFaultHook* hook) { fault_hook_ = hook; }
+  DeviceFaultHook* fault_hook() const { return fault_hook_; }
 
   // ----------------------------------------------------------- timing ---
 
@@ -68,8 +75,11 @@ class Disk {
   SimDuration AccessTime(Dbn dbn, uint64_t count) const;
 
   // Awaitable process: acquire the arm, pay AccessTime, move the head.
-  // Does not move data; pair it with ReadData/WriteData.
-  Task TimedAccess(Dbn dbn, uint64_t count);
+  // Does not move data; pair it with ReadData/WriteData. If the drive is
+  // failed (including a Fail() that lands while the access is in flight) or
+  // an armed fault hook rejects the access, `*status` receives kIoError and
+  // the head/byte counters are left untouched.
+  Task TimedAccess(Dbn dbn, uint64_t count, Status* status = nullptr);
 
   // The arm as a resource, for utilization reporting.
   Resource& arm() { return arm_; }
@@ -88,6 +98,7 @@ class Disk {
   Resource arm_;
   Dbn head_ = 0;
   bool failed_ = false;
+  DeviceFaultHook* fault_hook_ = nullptr;
   uint64_t bytes_transferred_ = 0;
   std::unordered_map<Dbn, std::unique_ptr<Block>> store_;
 };

@@ -1,0 +1,44 @@
+// Device-level fault injection hook.
+//
+// Simulated devices consult an optional `DeviceFaultHook` on every *timed*
+// access (the paths backup jobs pay for). An implementation — the fault
+// engine in src/faults — decides from its armed fault plan and the
+// simulation clock whether the access succeeds, fails transiently, or kills
+// the device outright. Keeping the interface here (and the engine in
+// src/faults) lets src/block stay free of any dependency on the fault
+// subsystem while every device remains injectable.
+#ifndef BKUP_BLOCK_FAULT_HOOK_H_
+#define BKUP_BLOCK_FAULT_HOOK_H_
+
+#include <cstdint>
+
+#include "src/util/status.h"
+
+namespace bkup {
+
+class Disk;
+class TapeDrive;
+
+class DeviceFaultHook {
+ public:
+  virtual ~DeviceFaultHook() = default;
+
+  // Consulted under the disk arm after the access time has been paid,
+  // mirroring a drive that errors out at the end of a transfer. A permanent
+  // fault implementation calls `disk->Fail()` before returning the error.
+  virtual Status OnDiskAccess(Disk* disk, uint64_t nblocks) = 0;
+
+  // Consulted before the drive commits `nbytes` at byte `position` of the
+  // loaded media. An error models the drive's read-after-write verify
+  // detecting a media defect (the data never lands).
+  virtual Status OnTapeWrite(TapeDrive* drive, uint64_t position,
+                             uint64_t nbytes) = 0;
+
+  // Consulted before the drive returns `nbytes` from byte `position`.
+  virtual Status OnTapeRead(TapeDrive* drive, uint64_t position,
+                            uint64_t nbytes) = 0;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_BLOCK_FAULT_HOOK_H_

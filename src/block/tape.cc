@@ -5,11 +5,20 @@
 
 namespace bkup {
 
-void Tape::CorruptAt(uint64_t offset, uint64_t length) {
-  const uint64_t end = std::min<uint64_t>(offset + length, bytes_.size());
+Status Tape::CorruptRange(uint64_t offset, uint64_t length) {
+  if (offset >= bytes_.size()) {
+    return InvalidArgument(label_ + ": corrupt range [" +
+                           std::to_string(offset) + ", +" +
+                           std::to_string(length) +
+                           ") starts beyond recorded data");
+  }
+  // Clamp without forming offset+length (which could overflow).
+  const uint64_t end = offset + std::min<uint64_t>(length,
+                                                   bytes_.size() - offset);
   for (uint64_t i = offset; i < end; ++i) {
     bytes_[i] ^= 0x5A;
   }
+  return Status::Ok();
 }
 
 TapeDrive::TapeDrive(SimEnvironment* env, std::string name, TapeTiming timing)
@@ -97,7 +106,13 @@ Task TapeDrive::TimedWrite(std::span<const uint8_t> data, Status* status) {
     ++repositions_;
   }
   co_await env_->Delay(t);
-  *status = WriteData(data);
+  // A fault (e.g. a media defect caught by the drive's read-after-write
+  // verify) rejects the transfer before any byte lands.
+  Status st = Status::Ok();
+  if (fault_hook_ != nullptr) {
+    st = fault_hook_->OnTapeWrite(this, position_, data.size());
+  }
+  *status = st.ok() ? WriteData(data) : st;
   if (status->ok()) {
     bytes_transferred_ += data.size();
   }
@@ -114,7 +129,11 @@ Task TapeDrive::TimedRead(std::span<uint8_t> out, Status* status) {
     ++repositions_;
   }
   co_await env_->Delay(t);
-  *status = ReadData(out);
+  Status st = Status::Ok();
+  if (fault_hook_ != nullptr) {
+    st = fault_hook_->OnTapeRead(this, position_, out.size());
+  }
+  *status = st.ok() ? ReadData(out) : st;
   if (status->ok()) {
     bytes_transferred_ += out.size();
   }

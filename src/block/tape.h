@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/block/fault_hook.h"
 #include "src/sim/environment.h"
 #include "src/sim/resource.h"
 #include "src/sim/task.h"
@@ -37,8 +38,10 @@ class Tape {
   std::vector<uint8_t>& mutable_bytes() { return bytes_; }
 
   // Failure injection: flips bits in [offset, offset+length) to simulate a
-  // media defect. Restores must detect this via record checksums.
-  void CorruptAt(uint64_t offset, uint64_t length);
+  // media defect. Restores must detect this via record checksums. Rejects a
+  // range starting beyond the recorded data with InvalidArgument and clamps
+  // one that merely runs off its end (the defect extends into blank media).
+  Status CorruptRange(uint64_t offset, uint64_t length);
 
   // Wipes the media (a fresh tape from the stacker).
   void Erase() { bytes_.clear(); }
@@ -107,6 +110,11 @@ class TapeDrive {
   uint64_t bytes_transferred() const { return bytes_transferred_; }
   uint64_t repositions() const { return repositions_; }
 
+  // Arms the drive against a fault engine; TimedWrite/TimedRead consult the
+  // hook before moving data. Null disarms.
+  void set_fault_hook(DeviceFaultHook* hook) { fault_hook_ = hook; }
+  DeviceFaultHook* fault_hook() const { return fault_hook_; }
+
  private:
   SimDuration TransferTime(uint64_t nbytes) const;
 
@@ -119,6 +127,7 @@ class TapeDrive {
   SimTime streaming_until_ = -1;  // sim time the last transfer finished
   uint64_t bytes_transferred_ = 0;
   uint64_t repositions_ = 0;
+  DeviceFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace bkup

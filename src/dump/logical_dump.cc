@@ -319,6 +319,39 @@ Status DumpFiles(DumpContext* ctx) {
   return Status::Ok();
 }
 
+// Readability pre-scan for skip_unreadable, between the mapping phase and
+// the header emit: probe every block of every selected file and drop the
+// unreadable ones from the dumped map while it has not been serialized yet,
+// so the stream's maps stay consistent with what Phase IV actually writes.
+Status SkipUnreadableFiles(DumpContext* ctx) {
+  const FsReader& reader = *ctx->reader;
+  Block block;
+  for (const auto& [inum, inode] : ctx->file_inodes) {
+    if (!ctx->dumped.Test(inum)) {
+      continue;
+    }
+    bool readable = true;
+    Result<std::vector<uint32_t>> ptrs = reader.PointerMap(inode);
+    if (!ptrs.ok()) {
+      readable = false;
+    } else {
+      for (uint32_t vbn : *ptrs) {
+        if (vbn != 0 && !reader.volume()->ReadBlock(vbn, &block).ok()) {
+          readable = false;
+          break;
+        }
+      }
+    }
+    if (!readable) {
+      ctx->dumped.Clear(inum);
+      ctx->out.stats.files_skipped++;
+    }
+  }
+  ctx->out.stats.inodes_dumped =
+      static_cast<uint32_t>(ctx->dumped.CountOnes());
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<LogicalDumpOutput> RunLogicalDump(const FsReader& reader,
@@ -331,6 +364,9 @@ Result<LogicalDumpOutput> RunLogicalDump(const FsReader& reader,
   ctx.options = &options;
 
   BKUP_RETURN_IF_ERROR(MapPhase(&ctx));
+  if (options.skip_unreadable) {
+    BKUP_RETURN_IF_ERROR(SkipUnreadableFiles(&ctx));
+  }
   BKUP_RETURN_IF_ERROR(EmitHeaders(&ctx));
   BKUP_RETURN_IF_ERROR(DumpDirectories(&ctx));
   BKUP_RETURN_IF_ERROR(DumpFiles(&ctx));

@@ -38,6 +38,13 @@ struct LogicalDumpOptions {
   // advantage of filters"); return true to skip the entry (and, for a
   // directory, its whole subtree).
   std::function<bool(const std::string& name)> exclude;
+  // Graceful degradation: drop files whose blocks cannot be read (e.g. a
+  // double disk failure in one RAID group) from the dump instead of
+  // aborting it, counting them in stats.files_skipped. The dumped-inode map
+  // stays consistent with the stream, so verify and restore still pass.
+  // This is a logical-dump-only luxury — image dump has no file boundaries
+  // to skip at and must hard-fail on an unreadable block.
+  bool skip_unreadable = false;
 };
 
 struct LogicalDumpStats {
@@ -45,6 +52,7 @@ struct LogicalDumpStats {
   uint32_t inodes_dumped = 0;      // dumpinomap population
   uint32_t dirs_dumped = 0;
   uint32_t files_dumped = 0;
+  uint32_t files_skipped = 0;  // unreadable files dropped (skip_unreadable)
   uint64_t data_blocks = 0;    // 4 KB data blocks written to the stream
   uint64_t holes_skipped = 0;  // file blocks omitted as holes
   uint64_t stream_bytes = 0;

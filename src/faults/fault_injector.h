@@ -1,0 +1,96 @@
+// The fault-injection engine: arms a `FaultPlan` against simulated devices.
+//
+// The injector implements the `DeviceFaultHook` that Disks and TapeDrives
+// consult on every timed access. It evaluates each armed spec against the
+// simulation clock, a per-spec deterministic random stream and a per-spec
+// byte odometer, so a scenario like
+//
+//     FaultPlan plan;
+//     plan.seed = 42;
+//     plan.DiskTransient("home.rg0.d2", 31 * kSecond, 36 * kSecond)
+//         .TapeMediaDefect("nightly.1", 2 * kMiB, 64 * kKiB)
+//         .DiskFailsAfter("home.rg1.d0", 8 * kMiB);
+//     FaultInjector injector(&env, plan);
+//     injector.Arm(volume);
+//     injector.Arm(drive);
+//
+// replays identically — same faults at the same sim times, same counters —
+// on every run with the same seed and workload.
+#ifndef BKUP_FAULTS_FAULT_INJECTOR_H_
+#define BKUP_FAULTS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/block/disk.h"
+#include "src/block/fault_hook.h"
+#include "src/block/tape.h"
+#include "src/faults/fault_plan.h"
+#include "src/raid/volume.h"
+#include "src/sim/environment.h"
+#include "src/util/random.h"
+
+namespace bkup {
+
+// What the engine actually did, for assertions and reporting. Distinct from
+// the job-side FaultCounters: these count injected faults, those count the
+// recovery work jobs performed in response.
+struct FaultInjectorStats {
+  uint64_t disk_faults_injected = 0;
+  uint64_t disks_killed = 0;
+  uint64_t tape_faults_injected = 0;
+  uint64_t media_defects_applied = 0;  // defect ranges latently corrupted
+  uint64_t drives_killed = 0;
+
+  bool any() const {
+    return disk_faults_injected + disks_killed + tape_faults_injected +
+               media_defects_applied + drives_killed >
+           0;
+  }
+};
+
+class FaultInjector : public DeviceFaultHook {
+ public:
+  FaultInjector(SimEnvironment* env, FaultPlan plan);
+
+  // Arming points the device's fault hook at this engine. The injector must
+  // outlive every armed device (or be disarmed first).
+  void Arm(Disk* disk) { disk->set_fault_hook(this); }
+  void Arm(TapeDrive* drive) { drive->set_fault_hook(this); }
+  void Arm(Volume* volume);
+
+  void Disarm(Disk* disk) { disk->set_fault_hook(nullptr); }
+  void Disarm(TapeDrive* drive) { drive->set_fault_hook(nullptr); }
+  void Disarm(Volume* volume);
+
+  // DeviceFaultHook:
+  Status OnDiskAccess(Disk* disk, uint64_t nblocks) override;
+  Status OnTapeWrite(TapeDrive* drive, uint64_t position,
+                     uint64_t nbytes) override;
+  Status OnTapeRead(TapeDrive* drive, uint64_t position,
+                    uint64_t nbytes) override;
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultInjectorStats& stats() const { return stats_; }
+
+ private:
+  // Per-spec mutable state, index-parallel with plan_.faults.
+  struct SpecState {
+    Rng rng;
+    uint64_t bytes_seen = 0;  // odometer for after_bytes triggers
+    bool fired = false;       // sticky for one-shot kinds
+  };
+
+  bool InWindow(const FaultSpec& spec) const;
+  Status OnTapeTransfer(TapeDrive* drive, uint64_t position, uint64_t nbytes,
+                        bool is_write);
+
+  SimEnvironment* env_;
+  FaultPlan plan_;
+  std::vector<SpecState> state_;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_FAULTS_FAULT_INJECTOR_H_

@@ -2,6 +2,8 @@
 // tape library.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/block/block.h"
 #include "src/block/disk.h"
 #include "src/block/tape.h"
@@ -129,6 +131,30 @@ TEST(DiskTest, TimedAccessMovesHeadAndCountsBytes) {
   EXPECT_GT(d.arm().BusyIntegral(), 0);
 }
 
+Task DoTimedAccess(Disk* d, Dbn dbn, uint64_t count, Status* st) {
+  co_await d->TimedAccess(dbn, count, st);
+}
+
+Task FailAt(SimEnvironment* env, Disk* d, SimDuration when) {
+  co_await env->Delay(when);
+  d->Fail();
+}
+
+TEST(DiskTest, FailDuringInFlightAccessSurfacesIoError) {
+  SimEnvironment env;
+  Disk d(&env, "d0", 1u << 20);
+  // A long transfer (4096 blocks ~ 1.7 s) with a Fail() landing mid-flight:
+  // the waiting job must see kIoError, and the head/byte counters must not
+  // pretend the access completed.
+  Status st;
+  env.Spawn(DoTimedAccess(&d, 0, 4096, &st));
+  env.Spawn(FailAt(&env, &d, 100 * kMillisecond));
+  env.Run();
+  EXPECT_EQ(st.code(), ErrorCode::kIoError);
+  EXPECT_EQ(d.head_position(), 0u);
+  EXPECT_EQ(d.bytes_transferred(), 0u);
+}
+
 TEST(DiskTest, SequentialScanFasterThanRandomScan) {
   // The asymmetry that drives the whole paper: N blocks sequentially vs the
   // same N blocks scattered.
@@ -215,11 +241,30 @@ TEST(TapeTest, MidTapeWriteTruncates) {
 TEST(TapeTest, CorruptionFlipsBits) {
   Tape media("t0", 1000);
   media.mutable_bytes().assign(100, 0x00);
-  media.CorruptAt(10, 5);
+  ASSERT_TRUE(media.CorruptRange(10, 5).ok());
   EXPECT_EQ(media.contents()[9], 0x00);
   EXPECT_EQ(media.contents()[10], 0x5A);
   EXPECT_EQ(media.contents()[14], 0x5A);
   EXPECT_EQ(media.contents()[15], 0x00);
+}
+
+TEST(TapeTest, CorruptRangeRejectsAndClampsOutOfBounds) {
+  Tape media("t0", 1000);
+  media.mutable_bytes().assign(100, 0x00);
+  // Starting beyond the recorded data is an error and must not write.
+  EXPECT_EQ(media.CorruptRange(100, 5).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(media.CorruptRange(500, 1).code(), ErrorCode::kInvalidArgument);
+  for (uint8_t b : media.contents()) {
+    EXPECT_EQ(b, 0x00);
+  }
+  // A range running off the end of the data clamps (the defect extends
+  // into blank media) — no overflow, no out-of-bounds write.
+  ASSERT_TRUE(media.CorruptRange(98, std::numeric_limits<uint64_t>::max())
+                  .ok());
+  EXPECT_EQ(media.contents()[97], 0x00);
+  EXPECT_EQ(media.contents()[98], 0x5A);
+  EXPECT_EQ(media.contents()[99], 0x5A);
+  EXPECT_EQ(media.size(), 100u);
 }
 
 Task DoTapeWrite(TapeDrive* drive, std::span<const uint8_t> data,

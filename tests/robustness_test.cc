@@ -1,13 +1,16 @@
 // Robustness scenarios from the paper: verify-after-write of tapes,
 // dumping from a degraded RAID volume, restarting an interrupted restore,
-// and a dump-record fuzzing sweep.
+// media defects while spanning multiple tapes, and a dump-record fuzzing
+// sweep.
 #include <gtest/gtest.h>
 
 #include <memory>
 
+#include "src/backup/supervisor.h"
 #include "src/dump/logical_dump.h"
 #include "src/dump/logical_restore.h"
 #include "src/dump/verify.h"
+#include "src/faults/fault_injector.h"
 #include "src/fs/filesystem.h"
 #include "src/image/image_dump.h"
 #include "src/util/random.h"
@@ -168,6 +171,110 @@ TEST(RestartTest, InterruptedRestoreConvergesOnRerun) {
                                 LogicalRestoreOptions{})
                   .ok());
   EXPECT_EQ(ChecksumTree((*rebooted)->LiveReader()).value(), sums);
+}
+
+TEST(RestartTest, SupervisedRestoreResumesAfterFilerRestart) {
+  // A filer restart mid-restore: the partially restored tree survives on
+  // disk via the last consistency point, and a supervised re-run of the
+  // same media converges on the correct tree.
+  RobustFixture f;
+  auto sums = ChecksumTree(f.fs->LiveReader()).value();
+  Filer filer(&f.env, FilerModel::F630());
+
+  Tape t0("night.0", 32 * kMiB);
+  TapeDrive drive(&f.env, "dlt0");
+  drive.LoadMedia(&t0);
+  SupervisionPolicy policy;
+  LogicalBackupJobResult backup;
+  CountdownLatch done(&f.env, 1);
+  f.env.Spawn(SupervisedLogicalBackupJob(&filer, f.fs.get(), &drive,
+                                         LogicalDumpOptions{}, &policy,
+                                         &backup, &done));
+  f.env.Run();
+  ASSERT_TRUE(backup.report.status.ok());
+  EXPECT_FALSE(backup.report.faults.any())
+      << "a fault-free run must report all-zero fault counters";
+
+  // "Crash" partway through the restore: only 60% of the stream lands
+  // before the filer reboots from its last consistency point.
+  auto volume = Volume::Create(&f.env, "r", Geometry());
+  auto fs = std::move(Filesystem::Format(volume.get(), &f.env)).value();
+  const std::span<const uint8_t> partial(t0.contents().data(),
+                                         t0.size() * 6 / 10);
+  ASSERT_TRUE(
+      RunLogicalRestore(fs.get(), partial, LogicalRestoreOptions{}).ok());
+  fs.reset();
+  auto rebooted = Filesystem::Mount(volume.get(), &f.env);
+  ASSERT_TRUE(rebooted.ok());
+
+  // The operator reruns the restore, supervised, from the same media.
+  TapeDrive rdrive(&f.env, "dlt1");
+  rdrive.LoadMedia(&t0);
+  LogicalRestoreJobResult restore;
+  CountdownLatch rdone(&f.env, 1);
+  f.env.Spawn(SupervisedLogicalRestoreJob(&filer, rebooted->get(), &rdrive,
+                                          LogicalRestoreOptions{}, false,
+                                          &policy, &restore, &rdone));
+  f.env.Run();
+  ASSERT_TRUE(restore.report.status.ok())
+      << restore.report.status.ToString();
+  EXPECT_EQ(ChecksumTree((*rebooted)->LiveReader()).value(), sums);
+}
+
+// ------------------------------------------------- spanning with faults ---
+
+TEST(SpanningFaultTest, DefectOnSecondTapeRemountsAndRestores) {
+  // A multi-volume dump hits a media defect on its *second* tape: only that
+  // media is abandoned — the first tape's checkpoint survives — and the
+  // restorable set splices tape 1 with the rewritten spare.
+  RobustFixture f;
+  auto sums = ChecksumTree(f.fs->LiveReader()).value();
+  Filer filer(&f.env, FilerModel::F630());
+
+  // ~6.6 MiB of stream over 4 MiB tapes: spans onto a second volume.
+  Tape t0("span.0", 4 * kMiB), t1("span.1", 4 * kMiB),
+      t2("span.2", 4 * kMiB), t3("span.3", 4 * kMiB);
+  TapeDrive drive(&f.env, "dlt0");
+  drive.LoadMedia(&t0);
+
+  FaultPlan plan;
+  plan.seed = 9;
+  // Offsets are tape-local: byte 1 MiB into span.1, not into the stream.
+  plan.TapeMediaDefect("span.1", 1 * kMiB, 64 * kKiB);
+  FaultInjector injector(&f.env, plan);
+  injector.Arm(&drive);
+
+  SupervisionPolicy policy;
+  LogicalBackupJobResult backup;
+  CountdownLatch done(&f.env, 1);
+  f.env.Spawn(SupervisedLogicalBackupJob(&filer, f.fs.get(), &drive,
+                                         LogicalDumpOptions{}, &policy,
+                                         &backup, &done, {&t1, &t2, &t3}));
+  f.env.Run();
+  ASSERT_TRUE(backup.report.status.ok())
+      << backup.report.status.ToString();
+  EXPECT_EQ(backup.report.faults.tape_remounts, 1u);
+  EXPECT_GT(backup.report.faults.bytes_rewritten, 0u);
+  ASSERT_EQ(backup.report.tapes_used.size(), 3u)
+      << "span.0, the abandoned span.1, and the spare";
+  ASSERT_EQ(backup.report.final_media.size(), 2u);
+  EXPECT_EQ(backup.report.final_media[0], "span.0");
+  EXPECT_EQ(backup.report.final_media[1], "span.2");
+
+  // Restore reads the final media set, in order.
+  auto rvolume = Volume::Create(&f.env, "r", Geometry());
+  auto rfs = std::move(Filesystem::Format(rvolume.get(), &f.env)).value();
+  TapeDrive rdrive(&f.env, "dlt1");
+  rdrive.LoadMedia(&t0);
+  LogicalRestoreJobResult restore;
+  CountdownLatch rdone(&f.env, 1);
+  f.env.Spawn(SupervisedLogicalRestoreJob(&filer, rfs.get(), &rdrive,
+                                          LogicalRestoreOptions{}, false,
+                                          &policy, &restore, &rdone, {&t2}));
+  f.env.Run();
+  ASSERT_TRUE(restore.report.status.ok())
+      << restore.report.status.ToString();
+  EXPECT_EQ(ChecksumTree(rfs->LiveReader()).value(), sums);
 }
 
 // ------------------------------------------------------------- fuzzing ---
