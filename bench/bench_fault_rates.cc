@@ -30,58 +30,99 @@ bench::SetupOptions Setup() {
   return opts;
 }
 
+// State kept alive past a measurement when the run feeds the JSON report:
+// the bench owns the resources the sampler observed, so both must outlive
+// WriteBenchJson.
+struct KeptRun {
+  std::unique_ptr<bench::Bench> bench;
+  std::unique_ptr<bench::BenchSampler> sampler;
+};
+
 // Each measurement gets a fresh bench (and so a fresh deterministic access
-// sequence) with every disk of the home volume armed at `rate`.
-JobReport RunLogical(double rate) {
-  bench::Bench b(Setup());
+// sequence) with every disk of the home volume armed at `rate`. With `keep`,
+// the bench is retained (with a utilization sampler attached) for reporting.
+JobReport RunLogical(double rate, KeptRun* keep = nullptr) {
+  auto b = std::make_unique<bench::Bench>(Setup());
   FaultPlan plan;
   plan.DiskFlaky("", rate);
-  FaultInjector injector(&b.env, plan);
-  injector.Arm(b.home.get());
+  FaultInjector injector(&b->env, plan);
+  injector.Arm(b->home.get());
+  std::unique_ptr<bench::BenchSampler> sampler;
+  if (keep != nullptr) {
+    sampler = std::make_unique<bench::BenchSampler>(b.get());
+  }
   SupervisionPolicy policy;
   LogicalBackupJobResult r;
-  CountdownLatch done(&b.env, 1);
+  CountdownLatch done(&b->env, 1);
   LogicalDumpOptions opt;
   opt.volume_name = "home";
-  b.env.Spawn(SupervisedLogicalBackupJob(b.filer.get(), b.fs.get(),
-                                         b.drives[0].get(), opt, &policy, &r,
-                                         &done));
-  b.env.Run();
+  b->env.Spawn(SupervisedLogicalBackupJob(b->filer.get(), b->fs.get(),
+                                          b->drives[0].get(), opt, &policy, &r,
+                                          &done));
+  b->env.Run();
   bench::CheckStatus(r.report.status, "supervised logical backup");
   r.report.name = "Logical Backup";
+  if (keep != nullptr) {
+    keep->sampler = std::move(sampler);
+    keep->bench = std::move(b);
+  }
   return r.report;
 }
 
-JobReport RunImage(double rate) {
-  bench::Bench b(Setup());
+JobReport RunImage(double rate, KeptRun* keep = nullptr) {
+  auto b = std::make_unique<bench::Bench>(Setup());
   FaultPlan plan;
   plan.DiskFlaky("", rate);
-  FaultInjector injector(&b.env, plan);
-  injector.Arm(b.home.get());
+  FaultInjector injector(&b->env, plan);
+  injector.Arm(b->home.get());
+  std::unique_ptr<bench::BenchSampler> sampler;
+  if (keep != nullptr) {
+    sampler = std::make_unique<bench::BenchSampler>(b.get());
+  }
   SupervisionPolicy policy;
   ImageBackupJobResult r;
-  CountdownLatch done(&b.env, 1);
-  b.env.Spawn(SupervisedImageBackupJob(b.filer.get(), b.fs.get(),
-                                       b.drives[1].get(), ImageDumpOptions{},
-                                       /*delete_snapshot_after=*/true,
-                                       &policy, &r, &done));
-  b.env.Run();
+  CountdownLatch done(&b->env, 1);
+  b->env.Spawn(SupervisedImageBackupJob(b->filer.get(), b->fs.get(),
+                                        b->drives[1].get(), ImageDumpOptions{},
+                                        /*delete_snapshot_after=*/true,
+                                        &policy, &r, &done));
+  b->env.Run();
   bench::CheckStatus(r.report.status, "supervised physical backup");
   r.report.name = "Physical Backup";
+  if (keep != nullptr) {
+    keep->sampler = std::move(sampler);
+    keep->bench = std::move(b);
+  }
   return r.report;
 }
 
-int Run() {
+std::string RateTag(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " @%.2f%%", rate * 100.0);
+  return buf;
+}
+
+int Run(const std::string& json_path) {
   const double kRates[] = {0.0, 0.001, 0.01};
   Row rows[3];
+  std::vector<JobReport> reports;
+  // The highest-rate runs are the interesting timelines; keep them (bench +
+  // utilization samplers) for the JSON report.
+  KeptRun kept_logical;
+  KeptRun kept_image;
   for (int i = 0; i < 3; ++i) {
+    const bool keep = !json_path.empty() && i == 2;
     rows[i].rate = kRates[i];
-    const JobReport logical = RunLogical(kRates[i]);
+    JobReport logical = RunLogical(kRates[i], keep ? &kept_logical : nullptr);
     rows[i].logical_mbps = logical.MBps();
     rows[i].logical_retries = logical.faults.disk_retries;
-    const JobReport image = RunImage(kRates[i]);
+    JobReport image = RunImage(kRates[i], keep ? &kept_image : nullptr);
     rows[i].image_mbps = image.MBps();
     rows[i].image_retries = image.faults.disk_retries;
+    logical.name += RateTag(kRates[i]);
+    image.name += RateTag(kRates[i]);
+    reports.push_back(std::move(logical));
+    reports.push_back(std::move(image));
   }
 
   bench::PrintBanner(
@@ -109,10 +150,25 @@ int Run() {
                    "grows with the error rate and only the disk-bound "
                    "logical dump slows down"
                  : "SHAPE MISMATCH");
+
+  if (!json_path.empty()) {
+    std::vector<const JobReport*> report_ptrs;
+    for (const JobReport& r : reports) {
+      report_ptrs.push_back(&r);
+    }
+    bench::Check(
+        bench::WriteBenchJson(
+            json_path, "fault_rates", *kept_logical.bench, report_ptrs,
+            {kept_logical.sampler.get(), kept_image.sampler.get()}),
+        "writing JSON report");
+  }
   return ok ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace bkup
 
-int main() { return bkup::Run(); }
+int main(int argc, char** argv) {
+  return bkup::Run(
+      bkup::bench::JsonPathFromArgs(argc, argv, "BENCH_fault_rates.json"));
+}

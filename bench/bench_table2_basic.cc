@@ -12,13 +12,14 @@
 namespace bkup {
 namespace {
 
-int Run() {
+int Run(const std::string& json_path) {
   bench::SetupOptions opts;
   bench::Bench b(opts);
   std::printf("workload: %u files, %u dirs, %s of data (mature/aged)\n",
               b.workload.files, b.workload.directories,
               FormatSize(b.workload.bytes).c_str());
 
+  bench::BenchSampler sampler(&b);
   bench::BasicSuite suite = bench::RunBasicSuite(&b);
 
   bench::PrintBanner("Table 2: Basic Backup and Restore Performance",
@@ -49,10 +50,22 @@ int Run() {
                   restore_edge > 1.1 && restore_edge < 3.0;
   std::printf("RESULT: %s\n", ok ? "shape matches the paper"
                                  : "SHAPE MISMATCH");
+
+  if (!json_path.empty()) {
+    bench::Check(bench::WriteBenchJson(
+                     json_path, "table2_basic", b,
+                     {&suite.logical_backup, &suite.logical_restore,
+                      &suite.physical_backup, &suite.physical_restore},
+                     {&sampler}),
+                 "writing JSON report");
+  }
   return ok ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace bkup
 
-int main() { return bkup::Run(); }
+int main(int argc, char** argv) {
+  return bkup::Run(
+      bkup::bench::JsonPathFromArgs(argc, argv, "BENCH_table2_basic.json"));
+}

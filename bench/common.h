@@ -17,6 +17,9 @@
 
 #include "src/backup/jobs.h"
 #include "src/backup/parallel.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/utilization.h"
 #include "src/workload/aging.h"
 #include "src/workload/population.h"
 
@@ -137,12 +140,9 @@ inline void PrintPhaseRow(const PhaseStats& p, JobPhase phase) {
   if (!p.active() || p.elapsed() <= 0) {
     return;
   }
-  const double secs = SimToSeconds(p.elapsed());
   std::printf("  %-34s %14s %7.1f%% %10.2f %10.2f\n", JobPhaseName(phase),
               FormatDuration(p.elapsed()).c_str(),
-              p.CpuUtilization() * 100.0,
-              static_cast<double>(p.disk_bytes) / secs / 1e6,
-              static_cast<double>(p.tape_bytes) / secs / 1e6);
+              p.CpuUtilization() * 100.0, p.DiskMBps(), p.TapeMBps());
 }
 
 inline void PrintAllPhases(const JobReport& report) {
@@ -231,6 +231,121 @@ inline BasicSuite RunBasicSuite(Bench* b) {
 
 inline void Check(const Status& status, const char* what) {
   CheckStatus(status, what);
+}
+
+// --------------------------------------------------------- observability ---
+
+// Windowed utilization sampling over every simulated resource of a bench:
+// the filer CPU, every disk arm (data and parity, all groups) and every tape
+// drive unit. Construct after the Bench and before running jobs; destroy (or
+// at least keep alive) until after WriteBenchJson.
+class BenchSampler {
+ public:
+  explicit BenchSampler(Bench* b, SimDuration window = 1 * kSecond)
+      : bench_(b), window_(window) {
+    Attach(&b->filer->cpu());
+    for (const auto& d : b->home->disks()) {
+      Attach(&d->arm());
+    }
+    for (const auto& drive : b->drives) {
+      Attach(&drive->unit());
+    }
+  }
+
+  void Attach(Resource* res) {
+    samplers_.push_back(std::make_unique<UtilizationSampler>(res, window_));
+  }
+
+  // Flushes the trailing partial window on every sampler; idempotent.
+  void Finish() {
+    if (finished_) {
+      return;
+    }
+    for (auto& s : samplers_) {
+      s->Finish(bench_->env.now());
+    }
+    finished_ = true;
+  }
+
+  const std::vector<std::unique_ptr<UtilizationSampler>>& samplers() const {
+    return samplers_;
+  }
+
+ private:
+  Bench* bench_;
+  SimDuration window_;
+  bool finished_ = false;
+  std::vector<std::unique_ptr<UtilizationSampler>> samplers_;
+};
+
+// Writes a structured BENCH_*.json report: bench configuration, every job
+// report (summary, faults, per-phase stats), windowed utilization series for
+// every resource, and a snapshot of the process-wide metrics registry.
+inline Status WriteBenchJson(const std::string& path,
+                             const std::string& bench_name, const Bench& b,
+                             const std::vector<const JobReport*>& reports,
+                             const std::vector<BenchSampler*>& samplers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", bench_name);
+  w.Field("sim_elapsed_s", SimToSeconds(b.env.now()));
+  w.Key("config")
+      .BeginObject()
+      .Field("data_bytes", b.opts.data_bytes)
+      .Field("quota_trees", static_cast<uint64_t>(b.opts.quota_trees))
+      .Field("aged", b.opts.aged)
+      .Field("num_tapes", static_cast<uint64_t>(b.opts.num_tapes))
+      .Field("raid_groups", static_cast<uint64_t>(b.opts.num_raid_groups))
+      .Field("disks_per_group", static_cast<uint64_t>(b.opts.disks_per_group))
+      .Field("blocks_per_disk", b.opts.blocks_per_disk)
+      .Field("seed", b.opts.seed)
+      .EndObject();
+  w.Key("jobs").BeginArray();
+  for (const JobReport* r : reports) {
+    r->WriteJson(&w);
+  }
+  w.EndArray();
+  w.Key("utilization").BeginArray();
+  for (BenchSampler* sampler : samplers) {
+    sampler->Finish();
+    for (const auto& s : sampler->samplers()) {
+      s->WriteJson(&w);
+    }
+  }
+  w.EndArray();
+  w.Key("metrics");
+  MetricsRegistry::Default().WriteJson(&w);
+  w.EndObject();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return IoError("cannot open '" + path + "' for writing");
+  }
+  const std::string json = w.Take();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return IoError("short write to '" + path + "'");
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), json.size());
+  return Status::Ok();
+}
+
+// Parses an optional "--json[=path]" argument; returns the empty string when
+// the flag is absent (no report requested).
+inline std::string JsonPathFromArgs(int argc, char** argv,
+                                    const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      return default_path;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      const std::string path = arg.substr(7);
+      return path.empty() ? default_path : path;
+    }
+  }
+  return {};
 }
 
 }  // namespace bench

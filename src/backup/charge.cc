@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sim/sync.h"
 
 namespace bkup {
@@ -126,6 +127,7 @@ Task DiskRuns(SimEnvironment* env, Volume* volume, Disk* disk,
       if (counters != nullptr) {
         ++counters->disk_io_errors;
       }
+      TRACE_INSTANT(env, "faults", "disk.error");
       if (disk->failed()) {
         // Permanent: swap in a hot spare and rebuild the column, or — with
         // no spare left — serve this run degraded off the survivors.
@@ -138,6 +140,7 @@ Task DiskRuns(SimEnvironment* env, Volume* volume, Disk* disk,
             counters->spare_disks_used <
                 static_cast<uint64_t>(std::max(0, policy->hot_spares))) {
           ++counters->spare_disks_used;
+          TRACE_INSTANT(env, "faults", "disk.spare_swap");
           disk->ReplaceWithBlank();
           co_await ChargeRebuildSweep(env, loc.group, counters);
           Status rebuilt = loc.group->Reconstruct(loc.column);
@@ -151,6 +154,7 @@ Task DiskRuns(SimEnvironment* env, Volume* volume, Disk* disk,
           attempt = 0;
           continue;
         }
+        TRACE_INSTANT(env, "faults", "disk.degraded_read");
         co_await DegradedRun(env, loc.group, loc.column, r, counters);
         st = Status::Ok();
         break;
@@ -162,6 +166,7 @@ Task DiskRuns(SimEnvironment* env, Volume* volume, Disk* disk,
       if (counters != nullptr) {
         ++counters->disk_retries;
       }
+      TRACE_INSTANT(env, "faults", "disk.retry");
       co_await env->Delay(policy->retry.BackoffBefore(attempt));
     }
     if (!st.ok() && error != nullptr && error->ok()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/backup/supervisor.h"
+#include "src/obs/trace.h"
 
 namespace bkup {
 
@@ -12,6 +13,46 @@ struct Chunk {
   uint64_t begin;
   uint64_t end;
   JobPhase phase;
+};
+
+// Keeps one span open per job track, closing the previous phase's span and
+// opening the next as the replay loop crosses phase boundaries. The track is
+// "job:<report name>", so each (uniquely named) job gets its own timeline row
+// and phases appear as contiguous spans along it. No-op without a tracer.
+class PhaseSpanner {
+ public:
+  PhaseSpanner(SimEnvironment* env, const std::string& job_name)
+      : tracer_(env->tracer()) {
+    if (tracer_ != nullptr) {
+      track_ = tracer_->Track("job:" + job_name);
+    }
+  }
+  ~PhaseSpanner() { Close(); }
+  PhaseSpanner(const PhaseSpanner&) = delete;
+  PhaseSpanner& operator=(const PhaseSpanner&) = delete;
+
+  void Enter(JobPhase phase) {
+    if (tracer_ == nullptr || phase == current_) {
+      return;
+    }
+    if (current_ != JobPhase::kCount) {
+      tracer_->End(track_);
+    }
+    current_ = phase;
+    tracer_->Begin(track_, JobPhaseName(phase));
+  }
+
+  void Close() {
+    if (tracer_ != nullptr && current_ != JobPhase::kCount) {
+      tracer_->End(track_);
+      current_ = JobPhase::kCount;
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  uint32_t track_ = 0;
+  JobPhase current_ = JobPhase::kCount;
 };
 
 // Recovers a failed tape write of stream[begin, end). On entry `*st` holds
@@ -33,11 +74,13 @@ Task RecoverTapeWrite(ReplayConfig cfg, std::span<const uint8_t> stream,
   int attempt = 1;
   while (true) {
     ++faults.tape_errors;
+    TRACE_INSTANT(env, "faults", "tape.error");
     if (st->code() == ErrorCode::kNoSpace) {
       co_return;  // capacity is the spanning path's job, not a fault
     }
     if (attempt < sup.tape_retry.max_attempts) {
       ++faults.tape_retries;
+      TRACE_INSTANT(env, "faults", "tape.retry");
       co_await env->Delay(sup.tape_retry.BackoffBefore(attempt));
       ++attempt;
     } else {
@@ -49,6 +92,7 @@ Task RecoverTapeWrite(ReplayConfig cfg, std::span<const uint8_t> stream,
       Tape* spare = cfg.spare_tapes[(*next_spare)++];
       co_await cfg.tape->TimedLoadMedia(spare);
       ++faults.tape_remounts;
+      TRACE_INSTANT(env, "faults", "tape.remount");
       report->tapes_used.push_back(spare->label());
       if (!report->final_media.empty()) {
         report->final_media.pop_back();  // the abandoned media
@@ -164,6 +208,7 @@ Task TapeReaderProc(ReplayConfig cfg, uint64_t total_bytes,
       while (!st.ok() && attempt < retry.max_attempts) {
         ++report->faults.tape_errors;
         ++report->faults.tape_retries;
+        TRACE_INSTANT(env, "faults", "tape.retry");
         co_await env->Delay(retry.BackoffBefore(attempt));
         ++attempt;
         co_await cfg.tape->TimedRead(std::span(scratch).first(n), &st);
@@ -256,9 +301,11 @@ Task ReplayToTape(ReplayConfig cfg, const IoTrace* trace,
     }
   };
 
+  PhaseSpanner spans(env, report->name);
   uint64_t sent = 0;
   for (size_t i = 0; i < n_events; ++i) {
     const IoEvent& e = trace->events[i];
+    spans.Enter(e.phase);
     co_await SpawnFetchesUpTo(i + cfg.disk_window + 1);
     report->TouchPhase(e.phase, env->now(), cfg.filer->cpu().BusyIntegral());
     co_await ready[i]->Wait();
@@ -274,6 +321,9 @@ Task ReplayToTape(ReplayConfig cfg, const IoTrace* trace,
   }
   channel.Close();
   co_await writer_done.Wait();
+  // Close after the writer drains so the final phase's span covers the tape
+  // tail, not just the last produced chunk.
+  spans.Close();
   report->stream_bytes += stream.size();
   done->CountDown();
 }
@@ -288,9 +338,11 @@ Task ReplayFromTape(ReplayConfig cfg, const IoTrace* trace,
       static_cast<int64_t>(std::max<size_t>(1, cfg.disk_window));
   Resource write_window(env, window_depth, "writebehind");
 
+  PhaseSpanner spans(env, report->name);
   uint64_t available = 0;
   uint64_t consumed = 0;
   for (const IoEvent& e : trace->events) {
+    spans.Enter(e.phase);
     // Wait for the tape to deliver this event's bytes.
     while (available < e.stream_end) {
       std::optional<uint64_t> watermark = co_await channel.Recv();
@@ -336,6 +388,7 @@ Task ReplayFromTape(ReplayConfig cfg, const IoTrace* trace,
   }
   co_await write_window.Acquire(window_depth);
   write_window.Release(window_depth);
+  spans.Close();
   report->stream_bytes += stream_bytes;
   done->CountDown();
 }
@@ -343,6 +396,8 @@ Task ReplayFromTape(ReplayConfig cfg, const IoTrace* trace,
 Task SnapshotPhase(Filer* filer, JobReport* report, JobPhase phase,
                    SimDuration duration) {
   SimEnvironment* env = filer->env();
+  PhaseSpanner spans(env, report->name);
+  spans.Enter(phase);
   report->TouchPhase(phase, env->now(), filer->cpu().BusyIntegral());
   // Duty-cycle the CPU at the target fraction in short slices so that
   // concurrent jobs are not starved for the whole window.

@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "src/obs/json.h"
+
 namespace bkup {
+
+namespace {
+double Clamp01(double u) { return u < 0.0 ? 0.0 : (u > 1.0 ? 1.0 : u); }
+}  // namespace
+
+double PhaseStats::DiskMBps() const {
+  const SimDuration e = elapsed();
+  if (e <= 0) {
+    return 0.0;
+  }
+  return BytesPerSecToMBps(static_cast<double>(disk_bytes) / SimToSeconds(e));
+}
+
+double PhaseStats::TapeMBps() const {
+  const SimDuration e = elapsed();
+  if (e <= 0) {
+    return 0.0;
+  }
+  return BytesPerSecToMBps(static_cast<double>(tape_bytes) / SimToSeconds(e));
+}
 
 void FaultCounters::Add(const FaultCounters& o) {
   disk_io_errors += o.disk_io_errors;
@@ -31,8 +53,8 @@ double JobReport::CpuUtilization() const {
   if (e <= 0) {
     return 0.0;
   }
-  return static_cast<double>(cpu_busy_end - cpu_busy_start) /
-         static_cast<double>(e);
+  return Clamp01(static_cast<double>(cpu_busy_end - cpu_busy_start) /
+                 static_cast<double>(e));
 }
 
 uint64_t JobReport::total_disk_bytes() const {
@@ -64,7 +86,7 @@ double JobReport::StreamCpuUtilization() const {
       busy -= s.cpu_busy_end - s.cpu_busy_start;
     }
   }
-  return static_cast<double>(busy) / static_cast<double>(e);
+  return Clamp01(static_cast<double>(busy) / static_cast<double>(e));
 }
 
 double JobReport::DiskMBps() const {
@@ -96,11 +118,70 @@ void JobReport::PrintPhaseRows(FILE* out) const {
     if (!p.active() || p.elapsed() <= 0) {
       continue;
     }
-    std::fprintf(out, "  %-32s %14s %8s\n",
+    std::fprintf(out, "  %-32s %14s %8s  disk %7.2f MB/s  tape %7.2f MB/s\n",
                  JobPhaseName(static_cast<JobPhase>(i)),
                  FormatDuration(p.elapsed()).c_str(),
-                 FormatPercent(p.CpuUtilization()).c_str());
+                 FormatPercent(p.CpuUtilization()).c_str(), p.DiskMBps(),
+                 p.TapeMBps());
   }
+}
+
+void JobReport::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("name", name);
+  w->Field("status", status.ok() ? "OK" : status.ToString());
+  w->Field("start_s", SimToSeconds(start_time));
+  w->Field("elapsed_s", SimToSeconds(elapsed()));
+  w->Field("stream_elapsed_s", SimToSeconds(StreamElapsed()));
+  w->Field("mb_per_s", MBps());
+  w->Field("gb_per_h", GBph());
+  w->Field("cpu_utilization", CpuUtilization());
+  w->Field("stream_cpu_utilization", StreamCpuUtilization());
+  w->Field("disk_mb_per_s", DiskMBps());
+  w->Field("tape_mb_per_s", TapeMBps());
+  w->Field("stream_bytes", stream_bytes);
+  w->Field("data_bytes", data_bytes);
+  w->Key("tapes_used").BeginArray();
+  for (const std::string& t : tapes_used) {
+    w->String(t);
+  }
+  w->EndArray();
+  w->Key("final_media").BeginArray();
+  for (const std::string& t : final_media) {
+    w->String(t);
+  }
+  w->EndArray();
+  w->Key("faults")
+      .BeginObject()
+      .Field("disk_io_errors", faults.disk_io_errors)
+      .Field("disk_retries", faults.disk_retries)
+      .Field("reconstruction_reads", faults.reconstruction_reads)
+      .Field("spare_disks_used", faults.spare_disks_used)
+      .Field("tape_errors", faults.tape_errors)
+      .Field("tape_retries", faults.tape_retries)
+      .Field("tape_remounts", faults.tape_remounts)
+      .Field("bytes_rewritten", faults.bytes_rewritten)
+      .Field("files_skipped", faults.files_skipped)
+      .EndObject();
+  w->Key("phases").BeginArray();
+  for (int i = 0; i < static_cast<int>(JobPhase::kCount); ++i) {
+    const PhaseStats& p = phases[i];
+    if (!p.active()) {
+      continue;
+    }
+    w->BeginObject()
+        .Field("name", JobPhaseName(static_cast<JobPhase>(i)))
+        .Field("start_s", SimToSeconds(p.start))
+        .Field("elapsed_s", SimToSeconds(p.elapsed()))
+        .Field("cpu_utilization", p.CpuUtilization())
+        .Field("disk_bytes", p.disk_bytes)
+        .Field("tape_bytes", p.tape_bytes)
+        .Field("disk_mb_per_s", p.DiskMBps())
+        .Field("tape_mb_per_s", p.TapeMBps())
+        .EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
 }
 
 JobReport MergeReports(const std::string& name,

@@ -16,6 +16,8 @@
 
 namespace bkup {
 
+class JsonWriter;  // src/obs/json.h
+
 // Accumulated activity of one job phase (one row of Table 3).
 struct PhaseStats {
   SimTime start = -1;
@@ -27,14 +29,21 @@ struct PhaseStats {
 
   bool active() const { return start >= 0; }
   SimDuration elapsed() const { return active() ? end - start : 0; }
+  // Clamped to [0, 1]: a phase's busy-integral window is sampled at touch
+  // points, so concurrent jobs' activity can bleed a few percent past the
+  // phase's own share; the clamp keeps displayed utilizations sane.
   double CpuUtilization() const {
     const SimDuration e = elapsed();
     if (e <= 0) {
       return 0.0;
     }
-    return static_cast<double>(cpu_busy_end - cpu_busy_start) /
-           static_cast<double>(e);
+    const double u = static_cast<double>(cpu_busy_end - cpu_busy_start) /
+                     static_cast<double>(e);
+    return u < 0.0 ? 0.0 : (u > 1.0 ? 1.0 : u);
   }
+  // Device throughput over the phase window.
+  double DiskMBps() const;
+  double TapeMBps() const;
 };
 
 // Recovery work a job performed in response to injected (or organic) device
@@ -118,8 +127,13 @@ struct JobReport {
 
   // Prints "Operation / Elapsed / MB/s / GB/h" (Table 2 row).
   void PrintSummaryRow(FILE* out) const;
-  // Prints the per-stage breakdown (Table 3 rows).
+  // Prints the per-stage breakdown (Table 3 rows) with per-phase device
+  // throughput.
   void PrintPhaseRows(FILE* out) const;
+
+  // Serializes the whole report — summary, fault counters, per-phase stats —
+  // as one JSON object (the per-job section of a BENCH_*.json file).
+  void WriteJson(JsonWriter* w) const;
 
   // Marks activity of `p` at the current time with the CPU busy integral.
   void TouchPhase(JobPhase p, SimTime now, int64_t cpu_busy);

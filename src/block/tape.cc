@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/obs/trace.h"
+
 namespace bkup {
 
 Status Tape::CorruptRange(uint64_t offset, uint64_t length) {
@@ -25,7 +27,11 @@ TapeDrive::TapeDrive(SimEnvironment* env, std::string name, TapeTiming timing)
     : env_(env),
       name_(std::move(name)),
       timing_(timing),
-      unit_(env, 1, name_ + ".unit") {}
+      unit_(env, 1, name_ + ".unit"),
+      metric_bytes_(MetricsRegistry::Default().GetCounter("tape.bytes",
+                                                          {{"drive", name_}})),
+      metric_repositions_(MetricsRegistry::Default().GetCounter(
+          "tape.repositions", {{"drive", name_}})) {}
 
 void TapeDrive::LoadMedia(Tape* tape) {
   tape_ = tape;
@@ -97,14 +103,22 @@ SimDuration TapeDrive::TransferTime(uint64_t nbytes) const {
   return SecondsToSim(seconds);
 }
 
+SimDuration TapeDrive::RepositionPenalty() {
+  if (streaming_until_ < 0 ||
+      env_->now() <= streaming_until_ + timing_.stream_tolerance) {
+    return 0;
+  }
+  ++repositions_;
+  metric_repositions_->Increment();
+  // Shoe-shining is the tape-side symptom of a starved dump; mark each one
+  // on the drive's track so stalls line up with the job spans above them.
+  TRACE_INSTANT(env_, name_, "reposition");
+  return timing_.reposition_penalty;
+}
+
 Task TapeDrive::TimedWrite(std::span<const uint8_t> data, Status* status) {
   co_await unit_.Acquire();
-  SimDuration t = TransferTime(data.size());
-  if (streaming_until_ >= 0 &&
-      env_->now() > streaming_until_ + timing_.stream_tolerance) {
-    t += timing_.reposition_penalty;
-    ++repositions_;
-  }
+  const SimDuration t = TransferTime(data.size()) + RepositionPenalty();
   co_await env_->Delay(t);
   // A fault (e.g. a media defect caught by the drive's read-after-write
   // verify) rejects the transfer before any byte lands.
@@ -115,6 +129,7 @@ Task TapeDrive::TimedWrite(std::span<const uint8_t> data, Status* status) {
   *status = st.ok() ? WriteData(data) : st;
   if (status->ok()) {
     bytes_transferred_ += data.size();
+    metric_bytes_->Increment(data.size());
   }
   streaming_until_ = env_->now();
   unit_.Release();
@@ -122,12 +137,7 @@ Task TapeDrive::TimedWrite(std::span<const uint8_t> data, Status* status) {
 
 Task TapeDrive::TimedRead(std::span<uint8_t> out, Status* status) {
   co_await unit_.Acquire();
-  SimDuration t = TransferTime(out.size());
-  if (streaming_until_ >= 0 &&
-      env_->now() > streaming_until_ + timing_.stream_tolerance) {
-    t += timing_.reposition_penalty;
-    ++repositions_;
-  }
+  const SimDuration t = TransferTime(out.size()) + RepositionPenalty();
   co_await env_->Delay(t);
   Status st = Status::Ok();
   if (fault_hook_ != nullptr) {
@@ -136,6 +146,7 @@ Task TapeDrive::TimedRead(std::span<uint8_t> out, Status* status) {
   *status = st.ok() ? ReadData(out) : st;
   if (status->ok()) {
     bytes_transferred_ += out.size();
+    metric_bytes_->Increment(out.size());
   }
   streaming_until_ = env_->now();
   unit_.Release();

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "src/dump/dumpdates.h"
+#include "src/obs/metrics.h"
 #include "src/util/checksum.h"
 
 namespace bkup {
@@ -379,6 +380,15 @@ Result<LogicalDumpOutput> RunLogicalDump(const FsReader& reader,
   event.cpu.push_back({CpuCost::kHeaderFormat, 1});
 
   ctx.out.stats.stream_bytes = ctx.out.stream.size();
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics.GetCounter("dump.logical.runs")->Increment();
+  metrics.GetCounter("dump.logical.files")
+      ->Increment(ctx.out.stats.files_dumped);
+  metrics.GetCounter("dump.logical.dirs")->Increment(ctx.out.stats.dirs_dumped);
+  metrics.GetCounter("dump.logical.files_skipped")
+      ->Increment(ctx.out.stats.files_skipped);
+  metrics.GetCounter("dump.logical.stream_bytes")
+      ->Increment(ctx.out.stats.stream_bytes);
   return std::move(ctx.out);
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "src/obs/metrics.h"
 #include "src/util/checksum.h"
 
 namespace bkup {
@@ -666,7 +667,18 @@ Result<LogicalRestoreOutput> RunLogicalRestore(
     Filesystem* fs, std::span<const uint8_t> stream,
     const LogicalRestoreOptions& options) {
   RestoreRun run(fs, stream, options);
-  return run.Run();
+  Result<LogicalRestoreOutput> out = run.Run();
+  if (out.ok()) {
+    MetricsRegistry& metrics = MetricsRegistry::Default();
+    metrics.GetCounter("restore.logical.runs")->Increment();
+    metrics.GetCounter("restore.logical.files")
+        ->Increment(out->stats.files_restored);
+    metrics.GetCounter("restore.logical.bytes")
+        ->Increment(out->stats.bytes_restored);
+    metrics.GetCounter("restore.logical.corrupt_records_skipped")
+        ->Increment(out->stats.corrupt_records_skipped);
+  }
+  return out;
 }
 
 }  // namespace bkup

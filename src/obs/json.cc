@@ -1,0 +1,478 @@
+#include "src/obs/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bkup {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Raw(std::string_view text) { out_.append(text); }
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.kind == 'o') {
+    assert(top.key_pending && "object value without a preceding Key()");
+    top.key_pending = false;
+    return;  // the comma was written before the key
+  }
+  if (top.has_elements) {
+    Raw(",");
+  }
+  top.has_elements = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  Raw("{");
+  stack_.push_back(Frame{'o'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back().kind == 'o');
+  assert(!stack_.back().key_pending && "dangling Key() at EndObject");
+  stack_.pop_back();
+  Raw("}");
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  Raw("[");
+  stack_.push_back(Frame{'a'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!stack_.empty() && stack_.back().kind == 'a');
+  stack_.pop_back();
+  Raw("]");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  assert(!stack_.empty() && stack_.back().kind == 'o');
+  Frame& top = stack_.back();
+  if (top.has_elements) {
+    Raw(",");
+  }
+  top.has_elements = true;
+  top.key_pending = true;
+  Raw("\"");
+  Raw(JsonEscape(key));
+  Raw("\":");
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  Raw("\"");
+  Raw(JsonEscape(value));
+  Raw("\"");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  Raw(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  Raw(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    Raw("null");
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  Raw(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  Raw(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  Raw("null");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(std::string_view key, std::string_view value) {
+  return Key(key).String(value);
+}
+JsonWriter& JsonWriter::Field(std::string_view key, const char* value) {
+  return Key(key).String(value);
+}
+JsonWriter& JsonWriter::Field(std::string_view key, int64_t value) {
+  return Key(key).Int(value);
+}
+JsonWriter& JsonWriter::Field(std::string_view key, uint64_t value) {
+  return Key(key).Uint(value);
+}
+JsonWriter& JsonWriter::Field(std::string_view key, double value) {
+  return Key(key).Double(value);
+}
+JsonWriter& JsonWriter::Field(std::string_view key, bool value) {
+  return Key(key).Bool(value);
+}
+
+// ---------------------------------------------------------------- values ---
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : members_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::operator[](std::string_view key) const {
+  static const JsonValue kNull;
+  const JsonValue* found = Find(key);
+  return found != nullptr ? *found : kNull;
+}
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+JsonValue JsonValue::MakeNumber(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> elements) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(elements);
+  return v;
+}
+JsonValue JsonValue::MakeObject(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+// ---------------------------------------------------------------- parser ---
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipSpace();
+    JsonValue v;
+    BKUP_RETURN_IF_ERROR(ParseValue(&v, 0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Fail(const std::string& what) const {
+    return Corruption("JSON parse error at offset " + std::to_string(pos_) +
+                      ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Fail("nesting too deep");
+    }
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out, depth);
+    }
+    if (c == '[') {
+      return ParseArray(out, depth);
+    }
+    if (c == '"') {
+      std::string s;
+      BKUP_RETURN_IF_ERROR(ParseString(&s));
+      *out = JsonValue::MakeString(std::move(s));
+      return Status::Ok();
+    }
+    if (ConsumeWord("true")) {
+      *out = JsonValue::MakeBool(true);
+      return Status::Ok();
+    }
+    if (ConsumeWord("false")) {
+      *out = JsonValue::MakeBool(false);
+      return Status::Ok();
+    }
+    if (ConsumeWord("null")) {
+      *out = JsonValue();
+      return Status::Ok();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    Consume('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipSpace();
+    if (Consume('}')) {
+      *out = JsonValue::MakeObject(std::move(members));
+      return Status::Ok();
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      BKUP_RETURN_IF_ERROR(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) {
+        return Fail("expected ':' after object key");
+      }
+      JsonValue value;
+      BKUP_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        break;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+    *out = JsonValue::MakeObject(std::move(members));
+    return Status::Ok();
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    Consume('[');
+    std::vector<JsonValue> elements;
+    SkipSpace();
+    if (Consume(']')) {
+      *out = JsonValue::MakeArray(std::move(elements));
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue value;
+      BKUP_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      elements.push_back(std::move(value));
+      SkipSpace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        break;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+    *out = JsonValue::MakeArray(std::move(elements));
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected '\"'");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return Status::Ok();
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad hex digit in \\u escape");
+            }
+          }
+          // Only BMP code points; encode as UTF-8.
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected a value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("malformed number '" + token + "'");
+    }
+    *out = JsonValue::MakeNumber(d);
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace bkup

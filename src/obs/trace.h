@@ -1,0 +1,162 @@
+// Simulated-time span tracing with Chrome trace-event export.
+//
+// A `Tracer` attaches to a `SimEnvironment` and records scoped spans
+// (begin/end pairs), instant events and counter samples into a bounded ring
+// buffer, all stamped with *simulated* time. `ToChromeJson()` exports the
+// buffer as Chrome trace-event JSON — the format Perfetto and
+// chrome://tracing load directly — with one named track per span/instant
+// stream and one counter track per watched `Resource` (the filer CPU, every
+// disk arm, every tape drive unit), so a backup job's bottleneck structure
+// is visible as a timeline instead of one end-of-run percentage.
+//
+// Cost model: everything is pay-as-you-go. An unattached environment costs
+// one null check per instrumentation site (the TRACE_* macros and the
+// subsystems consult `env->tracer()` and bail when null); an attached
+// tracer costs one ring-buffer append per event. When the ring fills, the
+// oldest events are dropped and counted — recent history wins, which is the
+// right bias for "why did the tail of this job stall".
+#ifndef BKUP_OBS_TRACE_H_
+#define BKUP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/environment.h"
+#include "src/sim/resource.h"
+#include "src/util/status.h"
+
+namespace bkup {
+
+struct TraceEvent {
+  enum class Kind : uint8_t { kBegin, kEnd, kInstant, kCounter };
+  Kind kind;
+  uint32_t track;
+  SimTime ts;
+  std::string name;    // empty for kEnd and kCounter
+  double value = 0.0;  // kCounter only
+};
+
+class Tracer : public ResourceObserver {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 20;
+
+  // Attaches to `env` (becomes `env->tracer()`); detaches on destruction.
+  explicit Tracer(SimEnvironment* env, size_t capacity = kDefaultCapacity);
+  ~Tracer() override;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  SimEnvironment* env() const { return env_; }
+
+  // Get-or-create a named span/instant track (a "thread" in the exported
+  // trace). Track ids are dense and stable.
+  uint32_t Track(const std::string& name);
+  // Get-or-create a named counter track.
+  uint32_t CounterTrack(const std::string& name);
+
+  void Begin(uint32_t track, std::string name);
+  void End(uint32_t track);
+  void Instant(uint32_t track, std::string name);
+  void Counter(uint32_t track, double value);
+  // Convenience: counter sample on the track named `name`.
+  void CounterNamed(const std::string& name, double value);
+
+  // Watches `res`: emits a counter sample of its in-use count now and after
+  // every occupancy change, on a counter track named after the resource.
+  // The tracer unregisters itself from all watched resources when destroyed;
+  // destroy the tracer before the resources it watches.
+  void WatchResource(Resource* res);
+
+  // ResourceObserver:
+  void OnResourceChange(const Resource& res, SimTime now,
+                        int64_t in_use) override;
+
+  size_t event_count() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t track_count() const { return tracks_.size(); }
+  const std::deque<TraceEvent>& events() const { return ring_; }
+
+  // Chrome trace-event JSON ({"traceEvents": [...]}). Spans become B/E
+  // events, instants "i", counters "C"; every track gets a thread_name
+  // metadata record. Timestamps are simulated microseconds, which is the
+  // unit the format expects.
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  struct TrackInfo {
+    std::string name;
+    bool counter = false;
+  };
+
+  void Append(TraceEvent event);
+
+  SimEnvironment* env_;
+  size_t capacity_;
+  std::deque<TraceEvent> ring_;
+  uint64_t dropped_ = 0;
+  std::vector<TrackInfo> tracks_;
+  std::unordered_map<std::string, uint32_t> track_by_name_;
+  std::unordered_map<const Resource*, uint32_t> watched_;
+};
+
+// RAII span: begins on construction, ends on destruction. Null-tracer safe,
+// so instrumentation sites don't need their own guards.
+class ScopedTraceSpan {
+ public:
+  ScopedTraceSpan(Tracer* tracer, const char* track, std::string name)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      track_ = tracer_->Track(track);
+      tracer_->Begin(track_, std::move(name));
+    }
+  }
+  ~ScopedTraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->End(track_);
+    }
+  }
+  ScopedTraceSpan(const ScopedTraceSpan&) = delete;
+  ScopedTraceSpan& operator=(const ScopedTraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  uint32_t track_ = 0;
+};
+
+#define BKUP_TRACE_CAT_(a, b) a##b
+#define BKUP_TRACE_CAT(a, b) BKUP_TRACE_CAT_(a, b)
+
+// Scoped span on `track`, named `name`, in the tracer attached to `env`
+// (no-op when none is attached):
+//   TRACE_SPAN(env, "job:nightly", "dump.files");
+#define TRACE_SPAN(env, track, name)                             \
+  ::bkup::ScopedTraceSpan BKUP_TRACE_CAT(_bkup_trace_span_,      \
+                                         __LINE__)((env)->tracer(), (track), \
+                                                   (name))
+
+// Point event on `track` (a retry, a remount, a reposition).
+#define TRACE_INSTANT(env, track, name)                 \
+  do {                                                  \
+    ::bkup::Tracer* _bkup_t = (env)->tracer();          \
+    if (_bkup_t != nullptr) {                           \
+      _bkup_t->Instant(_bkup_t->Track(track), (name));  \
+    }                                                   \
+  } while (0)
+
+// Sample on the counter track `name`.
+#define TRACE_COUNTER(env, name, value)                 \
+  do {                                                  \
+    ::bkup::Tracer* _bkup_t = (env)->tracer();          \
+    if (_bkup_t != nullptr) {                           \
+      _bkup_t->CounterNamed((name), (value));           \
+    }                                                   \
+  } while (0)
+
+}  // namespace bkup
+
+#endif  // BKUP_OBS_TRACE_H_

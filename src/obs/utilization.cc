@@ -1,0 +1,80 @@
+#include "src/obs/utilization.h"
+
+namespace bkup {
+
+UtilizationSampler::UtilizationSampler(Resource* res, SimDuration window)
+    : res_(res),
+      name_(res->name()),
+      window_(window > 0 ? window : 1),
+      capacity_(res->capacity() > 0 ? res->capacity() : 1),
+      window_start_(res->env()->now()),
+      last_event_(window_start_),
+      in_use_(res->in_use()) {
+  res_->AddObserver(this);
+}
+
+UtilizationSampler::~UtilizationSampler() {
+  if (!detached_) {
+    res_->RemoveObserver(this);
+  }
+}
+
+void UtilizationSampler::EmitWindow(SimTime end) {
+  const SimDuration span = end - window_start_;
+  double util = 0.0;
+  if (span > 0) {
+    util = static_cast<double>(busy_in_window_) /
+           (static_cast<double>(capacity_) * static_cast<double>(span));
+  }
+  if (util < 0.0) util = 0.0;
+  if (util > 1.0) util = 1.0;
+  samples_.push_back(Sample{window_start_, util});
+  window_start_ = end;
+  busy_in_window_ = 0;
+}
+
+void UtilizationSampler::AdvanceTo(SimTime now) {
+  while (now >= window_start_ + window_) {
+    const SimTime boundary = window_start_ + window_;
+    busy_in_window_ += in_use_ * (boundary - last_event_);
+    last_event_ = boundary;
+    EmitWindow(boundary);
+  }
+  busy_in_window_ += in_use_ * (now - last_event_);
+  last_event_ = now;
+}
+
+void UtilizationSampler::OnResourceChange(const Resource& /*res*/, SimTime now,
+                                          int64_t in_use) {
+  AdvanceTo(now);
+  in_use_ = in_use;
+}
+
+void UtilizationSampler::Finish(SimTime now) {
+  AdvanceTo(now);
+  if (now > window_start_) {
+    // Trailing partial window.
+    EmitWindow(now);
+  }
+  if (!detached_) {
+    res_->RemoveObserver(this);
+    detached_ = true;
+  }
+}
+
+void UtilizationSampler::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("resource", name_);
+  w->Field("window_s", static_cast<double>(window_) / 1e6);
+  w->Key("samples").BeginArray();
+  for (const Sample& s : samples_) {
+    w->BeginObject()
+        .Field("t_s", static_cast<double>(s.start) / 1e6)
+        .Field("utilization", s.utilization)
+        .EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace bkup

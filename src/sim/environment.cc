@@ -1,8 +1,44 @@
 #include "src/sim/environment.h"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
+
+#include "src/util/logging.h"
 
 namespace bkup {
+
+namespace {
+
+// Stack of live environments; the newest is "active". Registration is what
+// lets log messages carry simulated time without util depending on sim.
+std::vector<SimEnvironment*>& ActiveStack() {
+  static std::vector<SimEnvironment*>* stack =
+      new std::vector<SimEnvironment*>();
+  return *stack;
+}
+
+int64_t ActiveSimTimeMicros() {
+  SimEnvironment* env = SimEnvironment::Active();
+  return env != nullptr ? env->now() : -1;
+}
+
+}  // namespace
+
+SimEnvironment::SimEnvironment() {
+  ActiveStack().push_back(this);
+  SetSimLogClock(&ActiveSimTimeMicros);
+}
+
+SimEnvironment::~SimEnvironment() {
+  std::vector<SimEnvironment*>& stack = ActiveStack();
+  stack.erase(std::remove(stack.begin(), stack.end(), this), stack.end());
+}
+
+SimEnvironment* SimEnvironment::Active() {
+  std::vector<SimEnvironment*>& stack = ActiveStack();
+  return stack.empty() ? nullptr : stack.back();
+}
 
 void SimEnvironment::ScheduleAt(SimTime when, std::coroutine_handle<> handle) {
   assert(when >= now_ && "cannot schedule into the simulated past");

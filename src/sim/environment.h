@@ -14,11 +14,25 @@
 
 namespace bkup {
 
+class Tracer;  // src/obs/trace.h
+
 class SimEnvironment {
  public:
-  SimEnvironment() = default;
+  SimEnvironment();
+  ~SimEnvironment();
   SimEnvironment(const SimEnvironment&) = delete;
   SimEnvironment& operator=(const SimEnvironment&) = delete;
+
+  // The most recently constructed live environment, or nullptr. Logging uses
+  // this to prefix messages with simulated time; nested environments (a
+  // bench creating a fresh one per measurement) behave as a stack.
+  static SimEnvironment* Active();
+
+  // Optional span tracer (src/obs/trace.h) attached to this environment.
+  // Owned by the caller; the TRACE_* macros and instrumented subsystems
+  // no-op when it is null.
+  Tracer* tracer() const { return tracer_; }
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   SimTime now() const { return now_; }
 
@@ -70,6 +84,7 @@ class SimEnvironment {
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
+  Tracer* tracer_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
 };
 

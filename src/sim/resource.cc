@@ -1,5 +1,7 @@
 #include "src/sim/resource.h"
 
+#include <algorithm>
+
 namespace bkup {
 
 void Resource::AccountToNow() const {
@@ -8,10 +10,31 @@ void Resource::AccountToNow() const {
   last_change_ = now;
 }
 
+void Resource::AddObserver(ResourceObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void Resource::RemoveObserver(ResourceObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+void Resource::NotifyObservers() {
+  if (observers_.empty()) {
+    return;
+  }
+  const SimTime now = env_->now();
+  const int64_t in_use = capacity_ - available_;
+  for (ResourceObserver* observer : observers_) {
+    observer->OnResourceChange(*this, now, in_use);
+  }
+}
+
 void Resource::Take(int64_t units) {
   AccountToNow();
   available_ -= units;
   assert(available_ >= 0);
+  NotifyObservers();
 }
 
 void Resource::Release(int64_t units) {
@@ -26,6 +49,7 @@ void Resource::Release(int64_t units) {
     available_ -= w.units;
     env_->ScheduleNow(w.handle);
   }
+  NotifyObservers();
 }
 
 Task Resource::Use(int64_t units, SimDuration d) {

@@ -9,12 +9,27 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "src/sim/environment.h"
 #include "src/sim/task.h"
 #include "src/util/units.h"
 
 namespace bkup {
+
+class Resource;
+
+// Observation hook for resource state changes. Observers are notified after
+// every occupancy change (acquire, release, waiter grant) with the new
+// in-use count; the observability layer builds counter tracks and windowed
+// utilization samples on top of this. Observers must detach before either
+// the resource or the observer is destroyed.
+class ResourceObserver {
+ public:
+  virtual ~ResourceObserver() = default;
+  virtual void OnResourceChange(const Resource& res, SimTime now,
+                                int64_t in_use) = 0;
+};
 
 class Resource {
  public:
@@ -28,9 +43,15 @@ class Resource {
   Resource& operator=(const Resource&) = delete;
 
   const std::string& name() const { return name_; }
+  SimEnvironment* env() const { return env_; }
   int64_t capacity() const { return capacity_; }
   int64_t in_use() const { return capacity_ - available_; }
   size_t queue_length() const { return waiters_.size(); }
+
+  // Observation: the vector is empty in the common case, so the per-change
+  // cost of the hook is one branch.
+  void AddObserver(ResourceObserver* observer);
+  void RemoveObserver(ResourceObserver* observer);
 
   // Awaitable: obtains `units` of the resource, FIFO-fair.
   //   co_await cpu.Acquire();
@@ -74,12 +95,14 @@ class Resource {
 
   void Take(int64_t units);
   void AccountToNow() const;
+  void NotifyObservers();
 
   SimEnvironment* env_;
   int64_t capacity_;
   int64_t available_;
   std::string name_;
   std::deque<Waiter> waiters_;
+  std::vector<ResourceObserver*> observers_;
 
   // Busy accounting (mutable: reading the integral advances it to `now`).
   mutable SimTime last_change_ = 0;

@@ -1,11 +1,34 @@
 #include "src/util/logging.h"
 
 #include <cstdio>
+#include <ctime>
 
 namespace bkup {
 
 namespace {
 LogLevel g_level = LogLevel::kWarning;
+SimLogClockFn g_sim_clock = nullptr;
+
+// "T+12.345678s" when a simulation is active, "14:03:22" otherwise.
+std::string TimePrefix() {
+  if (g_sim_clock != nullptr) {
+    const int64_t us = g_sim_clock();
+    if (us >= 0) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "T+%lld.%06llds",
+                    static_cast<long long>(us / 1000000),
+                    static_cast<long long>(us % 1000000));
+      return buf;
+    }
+  }
+  std::time_t now = std::time(nullptr);
+  std::tm tm_buf{};
+  localtime_r(&now, &tm_buf);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec);
+  return buf;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,6 +48,8 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
 
+void SetSimLogClock(SimLogClockFn clock) { g_sim_clock = clock; }
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
   // Strip directories from the file name for compact output.
@@ -34,7 +59,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
       base = p + 1;
     }
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  stream_ << "[" << LevelName(level) << " " << TimePrefix() << " " << base
+          << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

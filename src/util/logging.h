@@ -13,6 +13,15 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Time source for log prefixes. When a simulation is running, messages are
+// prefixed with the current simulated time ("T+12.345678s") so logs
+// correlate with exported traces; otherwise with wall-clock time of day.
+// The function returns the current simulated time in microseconds, or a
+// negative value when no simulation is active. SimEnvironment installs one
+// automatically; util itself must not depend on sim, hence the hook.
+using SimLogClockFn = int64_t (*)();
+void SetSimLogClock(SimLogClockFn clock);
+
 // Internal: a single log statement. Flushes on destruction.
 class LogMessage {
  public:

@@ -1,0 +1,417 @@
+// Tests for the observability layer: JSON writer/parser round-trips, metric
+// registry identity semantics, histogram percentiles, span tracing (nesting,
+// ring overflow, Chrome export invariants) and windowed utilization sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/utilization.h"
+#include "src/sim/environment.h"
+#include "src/sim/resource.h"
+#include "src/sim/task.h"
+#include "src/util/units.h"
+
+namespace bkup {
+namespace {
+
+// ------------------------------------------------------------------ JSON ---
+
+TEST(JsonWriterTest, ObjectsArraysAndEscaping) {
+  JsonWriter w;
+  w.BeginObject()
+      .Field("name", "say \"hi\"\n\t\\")
+      .Field("count", uint64_t{42})
+      .Field("delta", int64_t{-7})
+      .Field("ratio", 0.5)
+      .Field("on", true)
+      .Key("items")
+      .BeginArray()
+      .Int(1)
+      .Int(2)
+      .EndArray()
+      .Key("nothing")
+      .Null()
+      .EndObject();
+  const std::string text = w.Take();
+
+  auto parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& v = *parsed;
+  EXPECT_EQ(v["name"].string_value(), "say \"hi\"\n\t\\");
+  EXPECT_EQ(v["count"].int_value(), 42);
+  EXPECT_EQ(v["delta"].int_value(), -7);
+  EXPECT_DOUBLE_EQ(v["ratio"].number(), 0.5);
+  EXPECT_TRUE(v["on"].bool_value());
+  ASSERT_TRUE(v["items"].is_array());
+  EXPECT_EQ(v["items"].array().size(), 2u);
+  EXPECT_TRUE(v["nothing"].is_null());
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginObject()
+      .Field("inf", std::numeric_limits<double>::infinity())
+      .Field("nan", std::nan(""))
+      .EndObject();
+  auto parsed = ParseJson(w.Take());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE((*parsed)["inf"].is_null());
+  EXPECT_TRUE((*parsed)["nan"].is_null());
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1, 2,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+}
+
+TEST(JsonParseTest, NestedLookupNeverCrashes) {
+  auto parsed = ParseJson(R"({"a": {"b": [10, 20]}})");
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& v = *parsed;
+  EXPECT_EQ(v["a"]["b"].array()[1].int_value(), 20);
+  // Missing paths resolve to null values, not crashes.
+  EXPECT_TRUE(v["a"]["missing"]["deeper"].is_null());
+  EXPECT_EQ(v.Find("absent"), nullptr);
+}
+
+// --------------------------------------------------------------- metrics ---
+
+TEST(MetricsTest, GetOrCreateReturnsStableHandles) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("ops");
+  Counter* c2 = reg.GetCounter("ops");
+  EXPECT_EQ(c1, c2);
+  c1->Increment(3);
+  c2->Increment();
+  EXPECT_EQ(reg.FindCounter("ops")->value(), 4u);
+}
+
+TEST(MetricsTest, LabelsDistinguishSeries) {
+  MetricsRegistry reg;
+  Counter* d0 = reg.GetCounter("disk.bytes", {{"device", "d0"}});
+  Counter* d1 = reg.GetCounter("disk.bytes", {{"device", "d1"}});
+  EXPECT_NE(d0, d1);
+  d0->Increment(100);
+  d1->Increment(200);
+  EXPECT_EQ(reg.FindCounter("disk.bytes", {{"device", "d0"}})->value(), 100u);
+  EXPECT_EQ(reg.FindCounter("disk.bytes", {{"device", "d1"}})->value(), 200u);
+  EXPECT_EQ(reg.FindCounter("disk.bytes"), nullptr);
+  EXPECT_EQ(reg.FindCounter("disk.bytes", {{"device", "d2"}}), nullptr);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsTest, NamespacesAreSeparate) {
+  MetricsRegistry reg;
+  reg.GetCounter("x");
+  reg.GetGauge("x")->Set(1.5);
+  reg.GetHistogram("x", HistogramOptions::Log2())->Observe(8);
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_DOUBLE_EQ(reg.FindGauge("x")->value(), 1.5);
+  EXPECT_EQ(reg.FindHistogram("x")->count(), 1u);
+}
+
+TEST(MetricsTest, Log2HistogramPercentiles) {
+  Histogram h(HistogramOptions::Log2());
+  // 90 small samples in [2,4), 10 large in [1024,2048).
+  for (int i = 0; i < 90; ++i) {
+    h.Observe(3.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Observe(1500.0);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1500.0);
+  EXPECT_NEAR(h.mean(), (90 * 3.0 + 10 * 1500.0) / 100.0, 1e-9);
+  // Bucket-granular: p50/p90 land in the [2,4) bucket, p99 in [1024,2048).
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50), 4.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.90), 4.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 2048.0);
+}
+
+TEST(MetricsTest, LinearHistogramBuckets) {
+  // 10 buckets of width 10 over [0, 100), plus underflow and overflow.
+  Histogram h(HistogramOptions::Linear(0.0, 10.0, 10));
+  h.Observe(-5.0);   // underflow
+  h.Observe(0.0);    // first body bucket
+  h.Observe(55.0);   // bucket [50, 60)
+  h.Observe(250.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 250.0);
+  const auto& buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 12u);
+  EXPECT_EQ(buckets.front(), 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[6], 1u);
+  EXPECT_EQ(buckets.back(), 1u);
+  EXPECT_TRUE(std::isinf(h.BucketUpperBound(buckets.size() - 1)));
+}
+
+TEST(MetricsTest, EmptyHistogramIsDefined) {
+  Histogram h(HistogramOptions::Log2());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(MetricsTest, JsonExportRoundTrips) {
+  MetricsRegistry reg;
+  reg.GetCounter("writes", {{"device", "d0"}})->Increment(7);
+  reg.GetGauge("depth")->Set(2.25);
+  Histogram* h = reg.GetHistogram("lat", HistogramOptions::Log2());
+  h->Observe(10);
+  h->Observe(100);
+
+  auto parsed = ParseJson(reg.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& v = *parsed;
+  ASSERT_EQ(v["counters"].array().size(), 1u);
+  const JsonValue& c = v["counters"].array()[0];
+  EXPECT_EQ(c["name"].string_value(), "writes");
+  EXPECT_EQ(c["labels"]["device"].string_value(), "d0");
+  EXPECT_EQ(c["value"].int_value(), 7);
+  ASSERT_EQ(v["gauges"].array().size(), 1u);
+  EXPECT_DOUBLE_EQ(v["gauges"].array()[0]["value"].number(), 2.25);
+  ASSERT_EQ(v["histograms"].array().size(), 1u);
+  const JsonValue& hist = v["histograms"].array()[0];
+  EXPECT_EQ(hist["count"].int_value(), 2);
+  EXPECT_DOUBLE_EQ(hist["sum"].number(), 110.0);
+  EXPECT_DOUBLE_EQ(hist["mean"].number(), 55.0);
+}
+
+// --------------------------------------------------------------- tracing ---
+
+Task TracedWork(SimEnvironment* env) {
+  TRACE_SPAN(env, "job:test", "outer");
+  co_await env->Delay(10 * kMillisecond);
+  {
+    TRACE_SPAN(env, "job:test", "inner");
+    co_await env->Delay(5 * kMillisecond);
+  }
+  co_await env->Delay(10 * kMillisecond);
+}
+
+TEST(TracerTest, SpansNestAndStampSimulatedTime) {
+  SimEnvironment env;
+  Tracer tracer(&env);
+  env.Spawn(TracedWork(&env));
+  env.Run();
+
+  // outer-begin, inner-begin, inner-end, outer-end.
+  ASSERT_EQ(tracer.event_count(), 4u);
+  const auto& ev = tracer.events();
+  EXPECT_EQ(ev[0].kind, TraceEvent::Kind::kBegin);
+  EXPECT_EQ(ev[0].name, "outer");
+  EXPECT_EQ(ev[0].ts, 0);
+  EXPECT_EQ(ev[1].kind, TraceEvent::Kind::kBegin);
+  EXPECT_EQ(ev[1].name, "inner");
+  EXPECT_EQ(ev[1].ts, 10 * kMillisecond);
+  EXPECT_EQ(ev[2].kind, TraceEvent::Kind::kEnd);
+  EXPECT_EQ(ev[2].ts, 15 * kMillisecond);
+  EXPECT_EQ(ev[3].kind, TraceEvent::Kind::kEnd);
+  EXPECT_EQ(ev[3].ts, 25 * kMillisecond);
+  // Both spans share the one named track.
+  EXPECT_EQ(tracer.track_count(), 1u);
+  EXPECT_EQ(ev[0].track, ev[1].track);
+}
+
+TEST(TracerTest, MacrosNoOpWithoutTracer) {
+  SimEnvironment env;
+  ASSERT_EQ(env.tracer(), nullptr);
+  env.Spawn(TracedWork(&env));  // must not crash
+  const SimTime end = env.Run();
+  EXPECT_EQ(end, 25 * kMillisecond);
+}
+
+TEST(TracerTest, AttachesAndDetachesFromEnvironment) {
+  SimEnvironment env;
+  {
+    Tracer tracer(&env);
+    EXPECT_EQ(env.tracer(), &tracer);
+  }
+  EXPECT_EQ(env.tracer(), nullptr);
+}
+
+TEST(TracerTest, RingOverflowDropsOldest) {
+  SimEnvironment env;
+  Tracer tracer(&env, /*capacity=*/4);
+  const uint32_t track = tracer.Track("t");
+  for (int i = 0; i < 10; ++i) {
+    tracer.Instant(track, "ev" + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.event_count(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  // Recent history wins: the survivors are the last four.
+  EXPECT_EQ(tracer.events().front().name, "ev6");
+  EXPECT_EQ(tracer.events().back().name, "ev9");
+}
+
+Task HoldResource(SimEnvironment* env, Resource* res, SimDuration lead,
+                  SimDuration hold) {
+  co_await env->Delay(lead);
+  co_await res->Acquire();
+  co_await env->Delay(hold);
+  res->Release();
+}
+
+TEST(TracerTest, WatchedResourceEmitsCounterTrack) {
+  SimEnvironment env;
+  Resource res(&env, 2, "disk.arm");
+  Tracer tracer(&env);
+  tracer.WatchResource(&res);
+
+  env.Spawn(HoldResource(&env, &res, 0, 10 * kMillisecond));
+  env.Spawn(HoldResource(&env, &res, 0, 20 * kMillisecond));
+  env.Run();
+
+  // Initial sample + 2 acquires + 2 releases.
+  std::vector<double> values;
+  for (const TraceEvent& e : tracer.events()) {
+    ASSERT_EQ(e.kind, TraceEvent::Kind::kCounter);
+    values.push_back(e.value);
+  }
+  EXPECT_EQ(values, (std::vector<double>{0, 1, 2, 1, 0}));
+}
+
+// Chrome-export invariants: parses, one thread_name record per track,
+// balanced B/E per track, and per-track monotonically non-decreasing ts.
+TEST(TracerTest, ChromeJsonExportInvariants) {
+  SimEnvironment env;
+  Resource res(&env, 1, "cpu");
+  Tracer tracer(&env);
+  tracer.WatchResource(&res);
+  env.Spawn(TracedWork(&env));
+  env.Spawn(HoldResource(&env, &res, 2 * kMillisecond, 6 * kMillisecond));
+  tracer.Instant(tracer.Track("faults"), "disk.retry");
+  env.Run();
+
+  auto parsed = ParseJson(tracer.ToChromeJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& events = (*parsed)["traceEvents"];
+  ASSERT_TRUE(events.is_array());
+
+  size_t metadata = 0;
+  std::map<int64_t, int64_t> last_ts_by_tid;
+  std::map<int64_t, int64_t> open_spans_by_tid;
+  for (const JsonValue& e : events.array()) {
+    const std::string& ph = e["ph"].string_value();
+    if (ph == "M") {
+      EXPECT_EQ(e["name"].string_value(), "thread_name");
+      ++metadata;
+      continue;
+    }
+    const int64_t tid = e["tid"].int_value();
+    const int64_t ts = e["ts"].int_value();
+    auto [it, first] = last_ts_by_tid.try_emplace(tid, ts);
+    if (!first) {
+      EXPECT_GE(ts, it->second) << "ts regressed on tid " << tid;
+      it->second = ts;
+    }
+    if (ph == "B") {
+      ++open_spans_by_tid[tid];
+    } else if (ph == "E") {
+      --open_spans_by_tid[tid];
+      EXPECT_GE(open_spans_by_tid[tid], 0);
+    } else {
+      EXPECT_TRUE(ph == "i" || ph == "C") << "unexpected ph " << ph;
+    }
+  }
+  // 3 tracks: the span track, the faults track, the cpu counter track.
+  EXPECT_EQ(metadata, tracer.track_count());
+  EXPECT_EQ(tracer.track_count(), 3u);
+  for (const auto& [tid, open] : open_spans_by_tid) {
+    EXPECT_EQ(open, 0) << "unbalanced spans on tid " << tid;
+  }
+}
+
+// ----------------------------------------------------------- utilization ---
+
+Task UtilScenario(SimEnvironment* env, Resource* res) {
+  co_await env->Delay(500 * kMillisecond);
+  co_await res->Acquire();
+  co_await env->Delay(1 * kSecond);
+  res->Release();
+  co_await env->Delay(500 * kMillisecond);
+}
+
+TEST(UtilizationSamplerTest, WindowsAreExact) {
+  SimEnvironment env;
+  Resource res(&env, 1, "cpu");
+  UtilizationSampler sampler(&res, 1 * kSecond);
+  env.Spawn(UtilScenario(&env, &res));
+  const SimTime end = env.Run();
+  ASSERT_EQ(end, 2 * kSecond);
+  sampler.Finish(end);
+
+  // Busy [0.5s, 1.5s) against 1s windows: both windows half busy.
+  const auto& samples = sampler.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].start, 0);
+  EXPECT_DOUBLE_EQ(samples[0].utilization, 0.5);
+  EXPECT_EQ(samples[1].start, 1 * kSecond);
+  EXPECT_DOUBLE_EQ(samples[1].utilization, 0.5);
+}
+
+TEST(UtilizationSamplerTest, TrailingPartialWindow) {
+  SimEnvironment env;
+  Resource res(&env, 1, "cpu");
+  UtilizationSampler sampler(&res, 1 * kSecond);
+  // Busy for the full first quarter-second, then idle; finish mid-window.
+  env.Spawn(HoldResource(&env, &res, 0, 250 * kMillisecond));
+  env.Run();
+  sampler.Finish(500 * kMillisecond);
+
+  const auto& samples = sampler.samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].start, 0);
+  // 250ms busy over a 500ms partial window.
+  EXPECT_DOUBLE_EQ(samples[0].utilization, 0.5);
+}
+
+TEST(UtilizationSamplerTest, CapacityScalesUtilization) {
+  SimEnvironment env;
+  Resource res(&env, 4, "arms");
+  UtilizationSampler sampler(&res, 1 * kSecond);
+  // Two of four units held for the full window.
+  env.Spawn(HoldResource(&env, &res, 0, 1 * kSecond));
+  env.Spawn(HoldResource(&env, &res, 0, 1 * kSecond));
+  const SimTime end = env.Run();
+  sampler.Finish(end);
+
+  ASSERT_EQ(sampler.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(sampler.samples()[0].utilization, 0.5);
+}
+
+TEST(UtilizationSamplerTest, JsonShape) {
+  SimEnvironment env;
+  Resource res(&env, 1, "filer.cpu");
+  UtilizationSampler sampler(&res, 1 * kSecond);
+  env.Spawn(HoldResource(&env, &res, 0, 2 * kSecond));
+  sampler.Finish(env.Run());
+
+  JsonWriter w;
+  sampler.WriteJson(&w);
+  auto parsed = ParseJson(w.Take());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& v = *parsed;
+  EXPECT_EQ(v["resource"].string_value(), "filer.cpu");
+  EXPECT_DOUBLE_EQ(v["window_s"].number(), 1.0);
+  ASSERT_EQ(v["samples"].array().size(), 2u);
+  EXPECT_DOUBLE_EQ(v["samples"].array()[1]["t_s"].number(), 1.0);
+  EXPECT_DOUBLE_EQ(v["samples"].array()[1]["utilization"].number(), 1.0);
+}
+
+}  // namespace
+}  // namespace bkup

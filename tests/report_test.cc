@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/backup/report.h"
+#include "src/obs/json.h"
 
 namespace bkup {
 namespace {
@@ -123,6 +124,79 @@ TEST(MergeReportsTest, EmptyInput) {
   JobReport merged = MergeReports("op", {});
   EXPECT_EQ(merged.elapsed(), 0);
   EXPECT_TRUE(merged.status.ok());
+}
+
+TEST(PhaseStatsTest, CpuUtilizationIsClamped) {
+  PhaseStats p;
+  p.start = 0;
+  p.end = 1000;
+  // Concurrent jobs can push the busy integral past the phase's own window;
+  // the report must still show a sane percentage.
+  p.cpu_busy_start = 0;
+  p.cpu_busy_end = 1500;
+  EXPECT_DOUBLE_EQ(p.CpuUtilization(), 1.0);
+  p.cpu_busy_end = -10;  // and never below zero
+  EXPECT_DOUBLE_EQ(p.CpuUtilization(), 0.0);
+}
+
+TEST(JobReportTest, JsonRoundTrip) {
+  JobReport r;
+  r.name = "Logical Backup";
+  r.start_time = 0;
+  r.end_time = 100 * kSecond;
+  r.stream_bytes = 220 * 1000 * 1000;
+  r.data_bytes = 200 * 1000 * 1000;
+  r.tapes_used = {"tape0", "tape1"};
+  r.final_media = {"tape1"};
+  r.faults.disk_retries = 3;
+  r.faults.tape_remounts = 1;
+  r.TouchPhase(JobPhase::kDumpFiles, 10 * kSecond, 0);
+  r.TouchPhase(JobPhase::kDumpFiles, 90 * kSecond, 40 * kSecond);
+  r.phase(JobPhase::kDumpFiles).disk_bytes = 200 * 1000 * 1000;
+  r.phase(JobPhase::kDumpFiles).tape_bytes = 220 * 1000 * 1000;
+
+  JsonWriter w;
+  r.WriteJson(&w);
+  auto parsed = ParseJson(w.Take());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& v = *parsed;
+
+  EXPECT_EQ(v["name"].string_value(), "Logical Backup");
+  EXPECT_EQ(v["status"].string_value(), "OK");
+  EXPECT_DOUBLE_EQ(v["elapsed_s"].number(), 100.0);
+  EXPECT_DOUBLE_EQ(v["mb_per_s"].number(), r.MBps());
+  EXPECT_EQ(v["stream_bytes"].int_value(), 220 * 1000 * 1000);
+  EXPECT_EQ(v["data_bytes"].int_value(), 200 * 1000 * 1000);
+  ASSERT_EQ(v["tapes_used"].array().size(), 2u);
+  EXPECT_EQ(v["tapes_used"].array()[1].string_value(), "tape1");
+  ASSERT_EQ(v["final_media"].array().size(), 1u);
+  EXPECT_EQ(v["faults"]["disk_retries"].int_value(), 3);
+  EXPECT_EQ(v["faults"]["tape_remounts"].int_value(), 1);
+
+  // Only active phases are serialized.
+  ASSERT_EQ(v["phases"].array().size(), 1u);
+  const JsonValue& phase = v["phases"].array()[0];
+  EXPECT_EQ(phase["name"].string_value(),
+            JobPhaseName(JobPhase::kDumpFiles));
+  EXPECT_DOUBLE_EQ(phase["start_s"].number(), 10.0);
+  EXPECT_DOUBLE_EQ(phase["elapsed_s"].number(), 80.0);
+  EXPECT_DOUBLE_EQ(phase["cpu_utilization"].number(), 0.5);
+  EXPECT_EQ(phase["disk_bytes"].int_value(), 200 * 1000 * 1000);
+  EXPECT_DOUBLE_EQ(phase["disk_mb_per_s"].number(), 2.5);
+  EXPECT_DOUBLE_EQ(phase["tape_mb_per_s"].number(), 2.75);
+}
+
+TEST(JobReportTest, JsonReportsFailureStatus) {
+  JobReport r;
+  r.name = "broken";
+  r.status = IoError("tape ate itself");
+  JsonWriter w;
+  r.WriteJson(&w);
+  auto parsed = ParseJson(w.Take());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NE((*parsed)["status"].string_value(), "OK");
+  EXPECT_NE((*parsed)["status"].string_value().find("tape ate itself"),
+            std::string::npos);
 }
 
 TEST(JobPhaseTest, AllPhasesNamed) {

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validate observability artifacts emitted by the simulator.
+
+Two modes:
+
+  check_trace.py trace  backup.trace.json   # Chrome trace-event file
+  check_trace.py report BENCH_foo.json      # structured bench report
+
+Trace mode checks what Perfetto / chrome://tracing require to load the
+file and what the exporter promises: a traceEvents array, a thread_name
+metadata record for every track, monotonically non-decreasing timestamps
+per track, balanced B/E span pairs per track, and counter events carrying
+a numeric value. Report mode checks the BENCH_*.json contract used by
+downstream tooling: job summaries, per-phase stats, utilization series
+with samples in [0, 1], and the metrics dump.
+
+Exit code 0 when the file validates; 1 with a message on stderr when not.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    sys.stderr.write(f"check_trace: {msg}\n")
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+
+def check_trace(path):
+    doc = load(path)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing, not a list, or empty")
+
+    named_tracks = {}   # tid -> track name from thread_name metadata
+    last_ts = {}        # tid -> last timestamp seen
+    open_spans = {}     # tid -> stack depth of open B spans
+    counts = {"B": 0, "E": 0, "i": 0, "C": 0, "M": 0}
+
+    for n, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in counts:
+            fail(f"event {n}: unexpected ph {ph!r}")
+        counts[ph] += 1
+        if ph == "M":
+            if e.get("name") != "thread_name":
+                fail(f"event {n}: metadata record is not thread_name")
+            name = e.get("args", {}).get("name")
+            if not name:
+                fail(f"event {n}: thread_name without args.name")
+            named_tracks[e.get("tid")] = name
+            continue
+        tid, ts = e.get("tid"), e.get("ts")
+        if tid is None or ts is None:
+            fail(f"event {n}: missing tid or ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event {n}: bad ts {ts!r}")
+        if tid in last_ts and ts < last_ts[tid]:
+            fail(f"event {n}: ts {ts} regressed on tid {tid} "
+                 f"(last was {last_ts[tid]})")
+        last_ts[tid] = ts
+        if ph == "B":
+            if not e.get("name"):
+                fail(f"event {n}: B span without a name")
+            open_spans[tid] = open_spans.get(tid, 0) + 1
+        elif ph == "E":
+            open_spans[tid] = open_spans.get(tid, 0) - 1
+            if open_spans[tid] < 0:
+                fail(f"event {n}: E without matching B on tid {tid}")
+        elif ph == "i":
+            if not e.get("name"):
+                fail(f"event {n}: instant without a name")
+        elif ph == "C":
+            args = e.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(f"event {n}: counter without args")
+            for v in args.values():
+                if not isinstance(v, (int, float)):
+                    fail(f"event {n}: non-numeric counter value {v!r}")
+
+    for tid, depth in open_spans.items():
+        if depth != 0:
+            fail(f"tid {tid}: {depth} unbalanced span(s)")
+    unnamed = set(last_ts) - set(named_tracks)
+    if unnamed:
+        fail(f"tracks without thread_name metadata: {sorted(unnamed)}")
+    if counts["B"] == 0:
+        fail("no spans at all — job phase tracks missing")
+    if counts["C"] == 0:
+        fail("no counter samples at all — resource tracks missing")
+
+    print(f"{path}: OK — {len(events)} events, {len(named_tracks)} tracks "
+          f"({counts['B']} spans, {counts['i']} instants, "
+          f"{counts['C']} counter samples)")
+
+
+def check_report(path):
+    doc = load(path)
+    for key in ("bench", "sim_elapsed_s", "config", "jobs", "utilization",
+                "metrics"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+
+    jobs = doc["jobs"]
+    if not isinstance(jobs, list) or not jobs:
+        fail("jobs missing or empty")
+    for job in jobs:
+        name = job.get("name", "<unnamed>")
+        for key in ("status", "elapsed_s", "mb_per_s", "faults", "phases"):
+            if key not in job:
+                fail(f"job {name!r}: missing {key!r}")
+        if job["status"] != "OK":
+            fail(f"job {name!r}: status {job['status']!r}")
+        for phase in job["phases"]:
+            u = phase.get("cpu_utilization")
+            if u is None or not 0.0 <= u <= 1.0:
+                fail(f"job {name!r} phase {phase.get('name')!r}: "
+                     f"cpu_utilization {u!r} outside [0, 1]")
+
+    series_list = doc["utilization"]
+    if not isinstance(series_list, list) or not series_list:
+        fail("utilization series missing or empty")
+    total_samples = 0
+    for series in series_list:
+        res = series.get("resource", "<unnamed>")
+        samples = series.get("samples")
+        if not isinstance(samples, list):
+            fail(f"utilization {res!r}: samples missing")
+        prev_t = None
+        for s in samples:
+            u, t = s.get("utilization"), s.get("t_s")
+            if u is None or not 0.0 <= u <= 1.0:
+                fail(f"utilization {res!r}: sample {u!r} outside [0, 1]")
+            if prev_t is not None and t <= prev_t:
+                fail(f"utilization {res!r}: sample times not increasing")
+            prev_t = t
+        total_samples += len(samples)
+    if total_samples == 0:
+        fail("no utilization samples in any series")
+
+    metrics = doc["metrics"]
+    for key in ("counters", "gauges", "histograms"):
+        if key not in metrics:
+            fail(f"metrics: missing {key!r}")
+
+    print(f"{path}: OK — {len(jobs)} jobs, {len(series_list)} utilization "
+          f"series ({total_samples} samples), "
+          f"{len(metrics['counters'])} counters, "
+          f"{len(metrics['histograms'])} histograms")
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in ("trace", "report"):
+        sys.stderr.write(__doc__)
+        sys.exit(2)
+    if sys.argv[1] == "trace":
+        check_trace(sys.argv[2])
+    else:
+        check_report(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()
