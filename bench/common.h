@@ -36,6 +36,7 @@ struct SetupOptions {
   size_t num_raid_groups = 3;
   size_t disks_per_group = 10;      // ~31 drives, as on eliot
   uint64_t blocks_per_disk = 2048;  // scaled capacity: 8 MiB per drive
+  DiskTiming disk_timing;           // per-spindle model (paper-era default)
   uint64_t seed = 1999;
 };
 
@@ -45,6 +46,7 @@ struct Bench {
     geom.num_raid_groups = options.num_raid_groups;
     geom.disks_per_group = options.disks_per_group;
     geom.blocks_per_disk = options.blocks_per_disk;
+    geom.disk_timing = options.disk_timing;
     home = Volume::Create(&env, "home", geom);
     filer = std::make_unique<Filer>(&env, FilerModel::F630());
     fs = std::move(Filesystem::Format(home.get(), &env)).value();

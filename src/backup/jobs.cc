@@ -7,53 +7,32 @@
 
 namespace bkup {
 
-namespace {
-
-struct Chunk {
-  uint64_t begin;
-  uint64_t end;
-  JobPhase phase;
-};
-
-// Keeps one span open per job track, closing the previous phase's span and
-// opening the next as the replay loop crosses phase boundaries. The track is
-// "job:<report name>", so each (uniquely named) job gets its own timeline row
-// and phases appear as contiguous spans along it. No-op without a tracer.
-class PhaseSpanner {
- public:
-  PhaseSpanner(SimEnvironment* env, const std::string& job_name)
-      : tracer_(env->tracer()) {
-    if (tracer_ != nullptr) {
-      track_ = tracer_->Track("job:" + job_name);
-    }
+PhaseSpanner::PhaseSpanner(SimEnvironment* env, const std::string& job_name)
+    : tracer_(env->tracer()) {
+  if (tracer_ != nullptr) {
+    track_ = tracer_->Track("job:" + job_name);
   }
-  ~PhaseSpanner() { Close(); }
-  PhaseSpanner(const PhaseSpanner&) = delete;
-  PhaseSpanner& operator=(const PhaseSpanner&) = delete;
+}
 
-  void Enter(JobPhase phase) {
-    if (tracer_ == nullptr || phase == current_) {
-      return;
-    }
-    if (current_ != JobPhase::kCount) {
-      tracer_->End(track_);
-    }
-    current_ = phase;
-    tracer_->Begin(track_, JobPhaseName(phase));
+PhaseSpanner::~PhaseSpanner() { Close(); }
+
+void PhaseSpanner::Enter(JobPhase phase) {
+  if (tracer_ == nullptr || phase == current_) {
+    return;
   }
-
-  void Close() {
-    if (tracer_ != nullptr && current_ != JobPhase::kCount) {
-      tracer_->End(track_);
-      current_ = JobPhase::kCount;
-    }
+  if (current_ != JobPhase::kCount) {
+    tracer_->End(track_);
   }
+  current_ = phase;
+  tracer_->Begin(track_, JobPhaseName(phase));
+}
 
- private:
-  Tracer* tracer_;
-  uint32_t track_ = 0;
-  JobPhase current_ = JobPhase::kCount;
-};
+void PhaseSpanner::Close() {
+  if (tracer_ != nullptr && current_ != JobPhase::kCount) {
+    tracer_->End(track_);
+    current_ = JobPhase::kCount;
+  }
+}
 
 // Recovers a failed tape write of stream[begin, end). On entry `*st` holds
 // the error. Transient errors back off and re-issue; an error that outlives
@@ -63,11 +42,12 @@ class PhaseSpanner {
 // the way a dump(8) operator re-feeds a tape after a write error. Nested
 // failures (a defective spare) loop back through the same ladder until the
 // spares run out.
-Task RecoverTapeWrite(ReplayConfig cfg, std::span<const uint8_t> stream,
-                      uint64_t begin, uint64_t end, size_t* next_spare,
-                      uint64_t* media_start, JobReport* report, Status* st) {
-  SimEnvironment* env = cfg.filer->env();
-  const SupervisionPolicy& sup = *cfg.supervision;
+Task RecoverTapeWrite(SimEnvironment* env, TapeDrive* tape,
+                      std::span<const uint8_t> stream, uint64_t begin,
+                      uint64_t end, std::span<Tape* const> spares,
+                      uint64_t chunk_bytes, const SupervisionPolicy& sup,
+                      size_t* next_spare, uint64_t* media_start,
+                      JobReport* report, Status* st) {
   FaultCounters& faults = report->faults;
   uint64_t cursor = begin;     // start of the piece whose write failed
   uint64_t failed_at = begin;  // where the retry budget is being spent
@@ -85,12 +65,11 @@ Task RecoverTapeWrite(ReplayConfig cfg, std::span<const uint8_t> stream,
       ++attempt;
     } else {
       // Persistent: remount a spare and rewind to the checkpoint.
-      if (!sup.remount_on_media_error ||
-          *next_spare >= cfg.spare_tapes.size()) {
+      if (!sup.remount_on_media_error || *next_spare >= spares.size()) {
         co_return;  // unrecoverable; *st keeps the final error
       }
-      Tape* spare = cfg.spare_tapes[(*next_spare)++];
-      co_await cfg.tape->TimedLoadMedia(spare);
+      Tape* spare = spares[(*next_spare)++];
+      co_await tape->TimedLoadMedia(spare);
       ++faults.tape_remounts;
       TRACE_INSTANT(env, "faults", "tape.remount");
       report->tapes_used.push_back(spare->label());
@@ -106,8 +85,8 @@ Task RecoverTapeWrite(ReplayConfig cfg, std::span<const uint8_t> stream,
     // Replay [cursor, end) piecewise; stop at the first failure.
     *st = Status::Ok();
     while (cursor < end && st->ok()) {
-      const uint64_t n = std::min<uint64_t>(cfg.chunk_bytes, end - cursor);
-      co_await cfg.tape->TimedWrite(stream.subspan(cursor, n), st);
+      const uint64_t n = std::min<uint64_t>(chunk_bytes, end - cursor);
+      co_await tape->TimedWrite(stream.subspan(cursor, n), st);
       if (st->ok()) {
         cursor += n;
       }
@@ -122,11 +101,13 @@ Task RecoverTapeWrite(ReplayConfig cfg, std::span<const uint8_t> stream,
   }
 }
 
+namespace {
+
 // Consumer half of a backup pipeline: drains chunks to the tape, loading
 // the next spare media when the mounted one fills (multi-volume dumps).
 // Under supervision, write errors run the retry/remount ladder above.
 Task TapeWriterProc(ReplayConfig cfg, std::span<const uint8_t> stream,
-                    Channel<Chunk>* channel, JobReport* report,
+                    Channel<StreamChunk>* channel, JobReport* report,
                     SimEvent* writer_done) {
   SimEnvironment* env = cfg.filer->env();
   size_t next_spare = 0;
@@ -139,7 +120,7 @@ Task TapeWriterProc(ReplayConfig cfg, std::span<const uint8_t> stream,
     report->final_media.push_back(cfg.tape->tape()->label());
   }
   while (true) {
-    std::optional<Chunk> chunk = co_await channel->Recv();
+    std::optional<StreamChunk> chunk = co_await channel->Recv();
     if (!chunk.has_value()) {
       break;
     }
@@ -156,8 +137,10 @@ Task TapeWriterProc(ReplayConfig cfg, std::span<const uint8_t> stream,
     Status st;
     co_await cfg.tape->TimedWrite(stream.subspan(chunk->begin, n), &st);
     if (!st.ok() && cfg.supervision != nullptr) {
-      co_await RecoverTapeWrite(cfg, stream, chunk->begin, chunk->end,
-                                &next_spare, &media_start, report, &st);
+      co_await RecoverTapeWrite(cfg.filer->env(), cfg.tape, stream,
+                                chunk->begin, chunk->end, cfg.spare_tapes,
+                                cfg.chunk_bytes, *cfg.supervision, &next_spare,
+                                &media_start, report, &st);
     }
     if (!st.ok() && report->status.ok()) {
       report->status = st;
@@ -271,14 +254,10 @@ Task DiskFlush(ReplayConfig cfg, std::vector<Vbn> writes,
 
 }  // namespace
 
-Task ReplayToTape(ReplayConfig cfg, const IoTrace* trace,
-                  std::span<const uint8_t> stream, JobReport* report,
-                  CountdownLatch* done) {
+Task ReplayProducer(ReplayConfig cfg, const IoTrace* trace,
+                    Channel<StreamChunk>* out, PhaseSpanner* spans,
+                    JobReport* report) {
   SimEnvironment* env = cfg.filer->env();
-  Channel<Chunk> channel(env, cfg.pipeline_depth);
-  SimEvent writer_done(env);
-  env->Spawn(TapeWriterProc(cfg, stream, &channel, report, &writer_done));
-
   // Read-ahead: keep up to disk_window events' disk reads in flight; the
   // stream is still produced in order.
   const size_t n_events = trace->events.size();
@@ -301,11 +280,10 @@ Task ReplayToTape(ReplayConfig cfg, const IoTrace* trace,
     }
   };
 
-  PhaseSpanner spans(env, report->name);
   uint64_t sent = 0;
   for (size_t i = 0; i < n_events; ++i) {
     const IoEvent& e = trace->events[i];
-    spans.Enter(e.phase);
+    spans->Enter(e.phase);
     co_await SpawnFetchesUpTo(i + cfg.disk_window + 1);
     report->TouchPhase(e.phase, env->now(), cfg.filer->cpu().BusyIntegral());
     co_await ready[i]->Wait();
@@ -314,11 +292,23 @@ Task ReplayToTape(ReplayConfig cfg, const IoTrace* trace,
     while (sent < e.stream_end) {
       const uint64_t n =
           std::min<uint64_t>(cfg.chunk_bytes, e.stream_end - sent);
-      co_await channel.Send(Chunk{sent, sent + n, e.phase});
+      co_await out->Send(StreamChunk{sent, sent + n, e.phase});
       sent += n;
     }
     report->TouchPhase(e.phase, env->now(), cfg.filer->cpu().BusyIntegral());
   }
+}
+
+Task ReplayToTape(ReplayConfig cfg, const IoTrace* trace,
+                  std::span<const uint8_t> stream, JobReport* report,
+                  CountdownLatch* done) {
+  SimEnvironment* env = cfg.filer->env();
+  Channel<StreamChunk> channel(env, cfg.pipeline_depth);
+  SimEvent writer_done(env);
+  env->Spawn(TapeWriterProc(cfg, stream, &channel, report, &writer_done));
+
+  PhaseSpanner spans(env, report->name);
+  co_await ReplayProducer(cfg, trace, &channel, &spans, report);
   channel.Close();
   co_await writer_done.Wait();
   // Close after the writer drains so the final phase's span covers the tape
@@ -328,24 +318,21 @@ Task ReplayToTape(ReplayConfig cfg, const IoTrace* trace,
   done->CountDown();
 }
 
-Task ReplayFromTape(ReplayConfig cfg, const IoTrace* trace,
-                    uint64_t stream_bytes, JobReport* report,
-                    CountdownLatch* done) {
+Task ReplayConsumer(ReplayConfig cfg, const IoTrace* trace,
+                    uint64_t stream_bytes, Channel<uint64_t>* arrived,
+                    PhaseSpanner* spans, JobReport* report) {
   SimEnvironment* env = cfg.filer->env();
-  Channel<uint64_t> channel(env, cfg.pipeline_depth);
-  env->Spawn(TapeReaderProc(cfg, stream_bytes, &channel, report));
   const auto window_depth =
       static_cast<int64_t>(std::max<size_t>(1, cfg.disk_window));
   Resource write_window(env, window_depth, "writebehind");
 
-  PhaseSpanner spans(env, report->name);
   uint64_t available = 0;
   uint64_t consumed = 0;
   for (const IoEvent& e : trace->events) {
-    spans.Enter(e.phase);
-    // Wait for the tape to deliver this event's bytes.
+    spans->Enter(e.phase);
+    // Wait for the stream to deliver this event's bytes.
     while (available < e.stream_end) {
-      std::optional<uint64_t> watermark = co_await channel.Recv();
+      std::optional<uint64_t> watermark = co_await arrived->Recv();
       if (!watermark.has_value()) {
         available = stream_bytes;
         break;
@@ -354,6 +341,9 @@ Task ReplayFromTape(ReplayConfig cfg, const IoTrace* trace,
     }
     report->TouchPhase(e.phase, env->now(), cfg.filer->cpu().BusyIntegral());
     report->phase(e.phase).tape_bytes += e.stream_end - consumed;
+    if (cfg.count_net_bytes) {
+      report->phase(e.phase).net_bytes += e.stream_end - consumed;
+    }
     consumed = e.stream_end;
 
     co_await cfg.filer->ChargeCpu(e.cpu);
@@ -381,13 +371,24 @@ Task ReplayFromTape(ReplayConfig cfg, const IoTrace* trace,
   // Drain any watermarks still queued (trailing stream padding) and wait
   // for outstanding write-behind flushes.
   while (true) {
-    std::optional<uint64_t> watermark = co_await channel.Recv();
+    std::optional<uint64_t> watermark = co_await arrived->Recv();
     if (!watermark.has_value()) {
       break;
     }
   }
   co_await write_window.Acquire(window_depth);
   write_window.Release(window_depth);
+}
+
+Task ReplayFromTape(ReplayConfig cfg, const IoTrace* trace,
+                    uint64_t stream_bytes, JobReport* report,
+                    CountdownLatch* done) {
+  SimEnvironment* env = cfg.filer->env();
+  Channel<uint64_t> channel(env, cfg.pipeline_depth);
+  env->Spawn(TapeReaderProc(cfg, stream_bytes, &channel, report));
+
+  PhaseSpanner spans(env, report->name);
+  co_await ReplayConsumer(cfg, trace, stream_bytes, &channel, &spans, report);
   spans.Close();
   report->stream_bytes += stream_bytes;
   done->CountDown();

@@ -32,6 +32,7 @@
 namespace bkup {
 
 struct SupervisionPolicy;  // src/backup/supervisor.h
+class Tracer;              // src/obs/trace.h
 
 struct ReplayConfig {
   Filer* filer = nullptr;
@@ -58,7 +59,69 @@ struct ReplayConfig {
   // errors retry/remount per the policy, charging the work to the report's
   // FaultCounters. Null = fail on first error (the pre-supervision model).
   const SupervisionPolicy* supervision = nullptr;
+  // Remote jobs: the stream crosses a NetLink, so the consumer attributes
+  // arriving bytes to the phase's net_bytes as well (link MB/s columns).
+  bool count_net_bytes = false;
 };
+
+// ------------------------------------------------ replay building blocks ---
+// The halves ReplayToTape/ReplayFromTape are composed from, exposed so the
+// remote jobs (src/backup/remote.h) can splice a network between producer
+// and consumer without duplicating the replay logic.
+
+// One pipeline chunk: stream bytes [begin, end) produced under `phase`.
+struct StreamChunk {
+  uint64_t begin;
+  uint64_t end;
+  JobPhase phase;
+};
+
+// Keeps one span open per job track, closing the previous phase's span and
+// opening the next as a replay loop crosses phase boundaries. The track is
+// "job:<report name>", so each (uniquely named) job gets its own timeline
+// row and phases appear as contiguous spans along it. No-op without a tracer.
+class PhaseSpanner {
+ public:
+  PhaseSpanner(SimEnvironment* env, const std::string& job_name);
+  ~PhaseSpanner();
+  PhaseSpanner(const PhaseSpanner&) = delete;
+  PhaseSpanner& operator=(const PhaseSpanner&) = delete;
+
+  void Enter(JobPhase phase);
+  void Close();
+
+ private:
+  Tracer* tracer_;
+  uint32_t track_ = 0;
+  JobPhase current_ = JobPhase::kCount;
+};
+
+// Producer half of a backup replay: charges read-ahead disk fetches and CPU
+// per trace event and emits the stream as ordered chunks on `out`. Does not
+// close the channel — the caller composes the shutdown order.
+Task ReplayProducer(ReplayConfig cfg, const IoTrace* trace,
+                    Channel<StreamChunk>* out, PhaseSpanner* spans,
+                    JobReport* report);
+
+// Consumer half of a restore replay: waits for the `arrived` watermark
+// (stream bytes delivered so far) to cover each trace event, then charges
+// CPU, NVRAM and write-behind disk flushes. Drains the watermark channel and
+// settles outstanding flushes before returning.
+Task ReplayConsumer(ReplayConfig cfg, const IoTrace* trace,
+                    uint64_t stream_bytes, Channel<uint64_t>* arrived,
+                    PhaseSpanner* spans, JobReport* report);
+
+// Retry/remount ladder for a failed tape write of stream[begin, end). On
+// entry *st holds the error; transient errors back off and re-issue, and an
+// error outliving the retry budget abandons the mounted media for the next
+// spare and rewrites from the checkpoint (*media_start). Exposed for the
+// remote tape writer on the tape-server side of a link.
+Task RecoverTapeWrite(SimEnvironment* env, TapeDrive* tape,
+                      std::span<const uint8_t> stream, uint64_t begin,
+                      uint64_t end, std::span<Tape* const> spares,
+                      uint64_t chunk_bytes, const SupervisionPolicy& policy,
+                      size_t* next_spare, uint64_t* media_start,
+                      JobReport* report, Status* st);
 
 // Replays a dump-side trace: charges disk reads and CPU per event and
 // streams the produced bytes to the tape. Accumulates phase stats into

@@ -1,0 +1,696 @@
+#include "src/backup/remote.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/obs/trace.h"
+
+namespace bkup {
+
+namespace {
+
+// Sender side of one remote stream: a chain of StreamConns over the same
+// byte span. The first connection carries the whole stream in the happy
+// case; when a connection fails (a frame lost beyond its retransmit budget)
+// the session drains it, reads its acked watermark, backs off per the
+// supervisor's link_retry, and resends [acked, high-watermark) on a fresh
+// connection — the network analogue of RecoverTapeWrite's remount ladder.
+// The receiver consumes connections in order from `conns()` and drains each
+// one's frames to end-of-stream, so its own write cursor always equals the
+// acked watermark the next connection resumes from.
+class StreamSession {
+ public:
+  StreamSession(SimEnvironment* env, NetLink* link, std::string name,
+                std::span<const uint8_t> stream, const SupervisionPolicy* sup,
+                JobReport* report)
+      : env_(env),
+        link_(link),
+        name_(std::move(name)),
+        stream_(stream),
+        sup_(sup),
+        report_(report),
+        conn_feed_(env, 16) {}
+
+  // Opens the first connection; call (and await) before Send.
+  Task Start() { co_await Connect(); }
+
+  // The receiver's view: connections in the order they were made. Closed by
+  // Finish once the stream (and any recovery) is complete.
+  Channel<StreamConn*>& conns() { return conn_feed_; }
+
+  // Ships stream[begin, end); *status is Ok unless the stream failed beyond
+  // the reconnect budget. Ranges must be sent in order.
+  Task Send(uint64_t begin, uint64_t end, uint32_t tag, Status* status) {
+    last_tag_ = tag;
+    hwm_ = std::max(hwm_, end);
+    Status st;
+    co_await conns_.back()->SendRange(stream_, begin, end, tag, &st);
+    while (!st.ok() && CanRecover()) {
+      co_await RecoverOnce(&st);
+    }
+    *status = st;
+  }
+
+  // Waits out everything in flight (recovering if the tail fails), then
+  // signals end-of-stream to the receiver and settles the stats.
+  Task Finish(Status* status) {
+    Status st;
+    while (true) {
+      co_await conns_.back()->Drain(&st);
+      if (st.ok() || !CanRecover()) {
+        break;
+      }
+      co_await RecoverOnce(&st);
+    }
+    conns_.back()->CloseSend();
+    conn_feed_.Close();
+    for (const auto& conn : conns_) {
+      report_->faults.link_retransmits += conn->stats().retransmits;
+    }
+    *status = st;
+  }
+
+ private:
+  bool CanRecover() const {
+    return sup_ != nullptr && attempts_ < sup_->link_retry.max_attempts;
+  }
+
+  Task Connect() {
+    conns_.push_back(std::make_unique<StreamConn>(
+        link_, name_ + "#" + std::to_string(conns_.size())));
+    co_await conn_feed_.Send(conns_.back().get());
+  }
+
+  // One reconnect: retire the failed connection, resume past its ack.
+  Task RecoverOnce(Status* st) {
+    StreamConn* old = conns_.back().get();
+    ++report_->faults.link_errors;
+    TRACE_INSTANT(env_, "faults", "link.error");
+    Status drain;  // already failed; we only need the in-flight frames done
+    co_await old->Drain(&drain);
+    old->CloseSend();
+    acked_floor_ = std::max(acked_floor_, old->acked());
+    ++attempts_;
+    co_await env_->Delay(sup_->link_retry.BackoffBefore(attempts_));
+    ++report_->faults.link_reconnects;
+    TRACE_INSTANT(env_, "faults", "link.reconnect");
+    report_->faults.link_bytes_resent += hwm_ - acked_floor_;
+    co_await Connect();
+    *st = Status::Ok();
+    if (hwm_ > acked_floor_) {
+      co_await conns_.back()->SendRange(stream_, acked_floor_, hwm_,
+                                        last_tag_, st);
+    }
+  }
+
+  SimEnvironment* env_;
+  NetLink* link_;
+  std::string name_;
+  std::span<const uint8_t> stream_;
+  const SupervisionPolicy* sup_;
+  JobReport* report_;
+  Channel<StreamConn*> conn_feed_;
+  std::vector<std::unique_ptr<StreamConn>> conns_;
+  uint64_t hwm_ = 0;          // highest stream byte handed to Send
+  uint64_t acked_floor_ = 0;  // resume point carried across reconnects
+  int attempts_ = 0;          // reconnects made (cumulative budget)
+  uint32_t last_tag_ = 0;
+};
+
+// Filer-side pump: forwards produced chunks into the stream session and
+// attributes the shipped bytes to each chunk's phase. After an unrecoverable
+// stream failure it keeps draining the channel (dropping the sends) so the
+// producer can finish and the job fails cleanly instead of deadlocking.
+Task NetSenderProc(Filer* filer, StreamSession* session,
+                   Channel<StreamChunk>* chunks, const std::string& track,
+                   JobReport* report, SimEvent* sender_done) {
+  SimEnvironment* env = filer->env();
+  ScopedTraceSpan span(env->tracer(), track.c_str(), "stream");
+  bool failed = false;
+  while (true) {
+    std::optional<StreamChunk> chunk = co_await chunks->Recv();
+    if (!chunk.has_value()) {
+      break;
+    }
+    if (failed) {
+      continue;
+    }
+    Status st;
+    co_await session->Send(chunk->begin, chunk->end,
+                           static_cast<uint32_t>(chunk->phase), &st);
+    report->phase(chunk->phase).net_bytes += chunk->end - chunk->begin;
+    report->TouchPhase(chunk->phase, env->now(),
+                       filer->cpu().BusyIntegral());
+    if (!st.ok()) {
+      failed = true;
+      if (report->status.ok()) {
+        report->status = st;
+      }
+    }
+  }
+  Status st;
+  co_await session->Finish(&st);
+  if (!st.ok() && report->status.ok()) {
+    report->status = st;
+  }
+  sender_done->Notify();
+}
+
+// Server-side writer: drains each connection's in-order frames to the
+// drive, spanning onto spare media when the mounted one fills and running
+// the supervised retry/remount ladder on write errors — TapeWriterProc with
+// a network where the channel used to be. `stream` stands in for the
+// received payload bytes (the simulation ships offsets, not copies). The
+// write cursor skips bytes a resumed connection replays that the tape
+// already holds.
+Task RemoteTapeWriterProc(Filer* filer, RemoteTarget target,
+                          std::span<const uint8_t> stream,
+                          Channel<StreamConn*>* conn_feed,
+                          uint64_t chunk_bytes, JobReport* report,
+                          SimEvent* writer_done) {
+  SimEnvironment* env = filer->env();
+  TapeDrive* tape = target.drive;
+  size_t next_spare = 0;
+  uint64_t media_start = 0;
+  uint64_t written = 0;  // stream bytes on tape == delivered watermark
+  if (tape->loaded()) {
+    report->tapes_used.push_back(tape->tape()->label());
+    report->final_media.push_back(tape->tape()->label());
+  }
+  while (true) {
+    std::optional<StreamConn*> conn = co_await conn_feed->Recv();
+    if (!conn.has_value()) {
+      break;
+    }
+    while (true) {
+      std::optional<StreamFrame> frame = co_await (*conn)->frames().Recv();
+      if (!frame.has_value()) {
+        break;
+      }
+      if (frame->end <= written) {
+        continue;  // replayed prefix of a resumed connection
+      }
+      const uint64_t begin = std::max(frame->begin, written);
+      const uint64_t n = frame->end - begin;
+      if (tape->loaded() &&
+          tape->position() + n > tape->tape()->capacity()) {
+        if (next_spare < target.spare_tapes.size()) {
+          co_await tape->TimedLoadMedia(target.spare_tapes[next_spare++]);
+          report->tapes_used.push_back(tape->tape()->label());
+          report->final_media.push_back(tape->tape()->label());
+          media_start = begin;
+        }  // else fall through: the write fails with NoSpace below
+      }
+      Status st;
+      co_await tape->TimedWrite(stream.subspan(begin, n), &st);
+      if (!st.ok() && target.supervision != nullptr) {
+        co_await RecoverTapeWrite(env, tape, stream, begin, frame->end,
+                                  target.spare_tapes, chunk_bytes,
+                                  *target.supervision, &next_spare,
+                                  &media_start, report, &st);
+      }
+      if (!st.ok() && report->status.ok()) {
+        report->status = st;
+      }
+      written = frame->end;
+      const JobPhase phase = static_cast<JobPhase>(frame->tag);
+      report->TouchPhase(phase, env->now(), filer->cpu().BusyIntegral());
+      report->phase(phase).tape_bytes += n;
+    }
+  }
+  writer_done->Notify();
+}
+
+// Server-side reader: TapeReaderProc's loop, but each chunk read off the
+// media is shipped to the filer through the stream session instead of being
+// published as a bare watermark.
+Task RemoteTapeReaderProc(Filer* filer, RemoteTarget target,
+                          uint64_t total_bytes, uint64_t chunk_bytes,
+                          StreamSession* session, JobReport* report,
+                          SimEvent* reader_done) {
+  SimEnvironment* env = filer->env();
+  TapeDrive* tape = target.drive;
+  std::vector<uint8_t> scratch(chunk_bytes);
+  size_t next_spare = 0;
+  if (tape->loaded()) {
+    report->tapes_used.push_back(tape->tape()->label());
+  }
+  uint64_t pos = 0;
+  bool failed = false;
+  while (pos < total_bytes) {
+    uint64_t remaining_on_tape =
+        tape->loaded() ? tape->tape()->size() - tape->position() : 0;
+    if (remaining_on_tape == 0) {
+      if (next_spare >= target.spare_tapes.size()) {
+        if (report->status.ok()) {
+          report->status = Corruption("multi-volume set ended early");
+        }
+        break;
+      }
+      co_await tape->TimedLoadMedia(target.spare_tapes[next_spare++]);
+      report->tapes_used.push_back(tape->tape()->label());
+      remaining_on_tape = tape->tape()->size();
+    }
+    const uint64_t n = std::min<uint64_t>(
+        {chunk_bytes, total_bytes - pos, remaining_on_tape});
+    Status st;
+    co_await tape->TimedRead(std::span(scratch).first(n), &st);
+    if (!st.ok() && target.supervision != nullptr) {
+      const RetryPolicy& retry = target.supervision->tape_retry;
+      int attempt = 1;
+      while (!st.ok() && attempt < retry.max_attempts) {
+        ++report->faults.tape_errors;
+        ++report->faults.tape_retries;
+        TRACE_INSTANT(env, "faults", "tape.retry");
+        co_await env->Delay(retry.BackoffBefore(attempt));
+        ++attempt;
+        co_await tape->TimedRead(std::span(scratch).first(n), &st);
+      }
+      if (!st.ok()) {
+        ++report->faults.tape_errors;
+      }
+    }
+    if (!st.ok() && report->status.ok()) {
+      report->status = st;
+    }
+    if (!failed) {
+      Status sent;
+      co_await session->Send(pos, pos + n, 0, &sent);
+      if (!sent.ok()) {
+        failed = true;
+        if (report->status.ok()) {
+          report->status = sent;
+        }
+      }
+    }
+    pos += n;
+  }
+  Status st;
+  co_await session->Finish(&st);
+  if (!st.ok() && report->status.ok()) {
+    report->status = st;
+  }
+  reader_done->Notify();
+}
+
+// Filer-side receive adapter for restores: turns the in-order frames of the
+// session's connections into the monotone arrived-bytes watermark
+// ReplayConsumer expects.
+Task WatermarkAdapter(Channel<StreamConn*>* conn_feed,
+                      Channel<uint64_t>* out) {
+  uint64_t hwm = 0;
+  while (true) {
+    std::optional<StreamConn*> conn = co_await conn_feed->Recv();
+    if (!conn.has_value()) {
+      break;
+    }
+    while (true) {
+      std::optional<StreamFrame> frame = co_await (*conn)->frames().Recv();
+      if (!frame.has_value()) {
+        break;
+      }
+      if (frame->end > hwm) {
+        hwm = frame->end;
+        co_await out->Send(hwm);
+      }
+    }
+  }
+  out->Close();
+}
+
+// Backup-side replay over a link: ReplayProducer on the filer feeding
+// NetSenderProc, RemoteTapeWriterProc on the server consuming the stream.
+Task ReplayToNet(ReplayConfig cfg, RemoteTarget target, const IoTrace* trace,
+                 std::span<const uint8_t> stream, JobReport* report,
+                 CountdownLatch* done) {
+  SimEnvironment* env = cfg.filer->env();
+  const std::string track = "net:" + target.link->name();
+  StreamSession session(env, target.link, report->name, stream,
+                        target.supervision, report);
+  co_await session.Start();
+
+  Channel<StreamChunk> chunks(env, cfg.pipeline_depth);
+  SimEvent writer_done(env);
+  SimEvent sender_done(env);
+  env->Spawn(RemoteTapeWriterProc(cfg.filer, target, stream, &session.conns(),
+                                  cfg.chunk_bytes, report, &writer_done));
+  env->Spawn(NetSenderProc(cfg.filer, &session, &chunks, track, report,
+                           &sender_done));
+
+  PhaseSpanner spans(env, report->name);
+  co_await ReplayProducer(cfg, trace, &chunks, &spans, report);
+  chunks.Close();
+  co_await sender_done.Wait();
+  co_await writer_done.Wait();
+  spans.Close();
+  report->stream_bytes += stream.size();
+  done->CountDown();
+}
+
+// Restore-side replay over a link: RemoteTapeReaderProc on the server
+// streaming to the filer, where ReplayConsumer charges CPU/NVRAM/disk as
+// the bytes arrive.
+Task ReplayFromNet(ReplayConfig cfg, RemoteTarget target, const IoTrace* trace,
+                   std::span<const uint8_t> stream, JobReport* report,
+                   CountdownLatch* done) {
+  SimEnvironment* env = cfg.filer->env();
+  StreamSession session(env, target.link, report->name, stream,
+                        target.supervision, report);
+  co_await session.Start();
+
+  SimEvent reader_done(env);
+  env->Spawn(RemoteTapeReaderProc(cfg.filer, target, stream.size(),
+                                  cfg.chunk_bytes, &session, report,
+                                  &reader_done));
+  Channel<uint64_t> watermarks(env, cfg.pipeline_depth);
+  env->Spawn(WatermarkAdapter(&session.conns(), &watermarks));
+
+  PhaseSpanner spans(env, report->name);
+  co_await ReplayConsumer(cfg, trace, stream.size(), &watermarks, &spans,
+                          report);
+  co_await reader_done.Wait();
+  spans.Close();
+  report->stream_bytes += stream.size();
+  done->CountDown();
+}
+
+ReplayConfig RemoteReplayConfig(Filer* filer, Volume* volume,
+                                const RemoteTarget& target) {
+  ReplayConfig cfg;
+  cfg.filer = filer;
+  cfg.volume = volume;
+  cfg.supervision = target.supervision;
+  return cfg;
+}
+
+// Concatenation of the server-side media set (restore input). Resent bytes
+// were skipped at write time, so the media splice back into one stream.
+std::vector<uint8_t> SpliceMedia(const RemoteTarget& target) {
+  std::vector<uint8_t> stream;
+  std::span<const uint8_t> first = target.drive->tape()->contents();
+  stream.assign(first.begin(), first.end());
+  for (Tape* t : target.spare_tapes) {
+    stream.insert(stream.end(), t->contents().begin(), t->contents().end());
+  }
+  return stream;
+}
+
+Task RemoteImagePart(Filer* filer, Filesystem* fs, RemoteTarget target,
+                     ImageDumpOptions options, ImageBackupJobResult* part,
+                     CountdownLatch* latch) {
+  SimEnvironment* env = filer->env();
+  JobReport& report = part->report;
+  report.name = "Remote physical backup [part " +
+                std::to_string(options.part_index) + "/" +
+                std::to_string(options.part_count) + "]";
+  report.start_time = env->now();
+  report.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  Result<ImageDumpOutput> dump = RunImageDump(fs->volume(), options);
+  if (!dump.ok()) {
+    report.status = dump.status();
+    latch->CountDown();
+    co_return;
+  }
+  part->dump = std::move(*dump);
+
+  ReplayConfig cfg = RemoteReplayConfig(filer, fs->volume(), target);
+  CountdownLatch replay_done(env, 1);
+  env->Spawn(ReplayToNet(cfg, target, &part->dump.trace, part->dump.stream,
+                         &report, &replay_done));
+  co_await replay_done.Wait();
+
+  report.end_time = env->now();
+  report.cpu_busy_end = filer->cpu().BusyIntegral();
+  report.data_bytes = part->dump.stats.blocks_dumped * kBlockSize;
+  latch->CountDown();
+}
+
+}  // namespace
+
+Task RemoteLogicalBackupJob(Filer* filer, Filesystem* fs, RemoteTarget target,
+                            LogicalDumpOptions options,
+                            LogicalBackupJobResult* result,
+                            CountdownLatch* done) {
+  SimEnvironment* env = filer->env();
+  JobReport& report = result->report;
+  report.name = "Remote logical backup";
+  report.start_time = env->now();
+  report.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  const std::string snap =
+      options.snapshot_name.empty() ? "dump.remote" : options.snapshot_name;
+  options.snapshot_name = snap;
+  report.status = fs->CreateSnapshot(snap);
+  if (!report.status.ok()) {
+    done->CountDown();
+    co_return;
+  }
+  co_await SnapshotPhase(filer, &report, JobPhase::kCreateSnapshot,
+                         filer->model().snapshot_create_time);
+
+  options.dump_time = env->now();
+  if (target.supervision != nullptr &&
+      target.supervision->skip_unreadable_files) {
+    options.skip_unreadable = true;
+  }
+  Result<FsReader> reader = fs->SnapshotReader(snap);
+  if (!reader.ok()) {
+    report.status = reader.status();
+    done->CountDown();
+    co_return;
+  }
+  Result<LogicalDumpOutput> dump = RunLogicalDump(*reader, options);
+  if (!dump.ok()) {
+    report.status = dump.status();
+    done->CountDown();
+    co_return;
+  }
+  result->dump = std::move(*dump);
+  report.faults.files_skipped += result->dump.stats.files_skipped;
+
+  ReplayConfig cfg = RemoteReplayConfig(filer, fs->volume(), target);
+  CountdownLatch replay_done(env, 1);
+  env->Spawn(ReplayToNet(cfg, target, &result->dump.trace,
+                         result->dump.stream, &report, &replay_done));
+  co_await replay_done.Wait();
+
+  Status del = fs->DeleteSnapshot(snap);
+  if (!del.ok() && report.status.ok()) {
+    report.status = del;
+  }
+  co_await SnapshotPhase(filer, &report, JobPhase::kDeleteSnapshot,
+                         filer->model().snapshot_delete_time);
+
+  report.end_time = env->now();
+  report.cpu_busy_end = filer->cpu().BusyIntegral();
+  report.data_bytes = result->dump.stats.data_blocks * kBlockSize;
+  done->CountDown();
+}
+
+Task RemoteLogicalRestoreJob(Filer* filer, Filesystem* fs, RemoteTarget target,
+                             LogicalRestoreOptions options, bool bypass_nvram,
+                             LogicalRestoreJobResult* result,
+                             CountdownLatch* done) {
+  SimEnvironment* env = filer->env();
+  JobReport& report = result->report;
+  report.name = bypass_nvram ? "Remote logical restore (NVRAM bypass)"
+                             : "Remote logical restore";
+  report.start_time = env->now();
+  report.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  if (!target.drive->loaded()) {
+    report.status = FailedPrecondition("no tape loaded for restore");
+    done->CountDown();
+    co_return;
+  }
+  const std::vector<uint8_t> stream = SpliceMedia(target);
+
+  fs->MarkCpCounters();
+  Result<LogicalRestoreOutput> restored =
+      RunLogicalRestore(fs, stream, options);
+  if (!restored.ok()) {
+    report.status = restored.status();
+    done->CountDown();
+    co_return;
+  }
+  result->restore = std::move(*restored);
+
+  const uint64_t data_writes = fs->cp_data_writes_since_mark();
+  const uint64_t meta_writes = fs->cp_meta_writes_since_mark();
+  ReplayConfig cfg = RemoteReplayConfig(filer, fs->volume(), target);
+  cfg.charge_nvram = !bypass_nvram;
+  cfg.count_net_bytes = true;
+  cfg.write_meta_multiplier =
+      data_writes > 0
+          ? static_cast<double>(meta_writes) / static_cast<double>(data_writes)
+          : 0.5;
+
+  CountdownLatch replay_done(env, 1);
+  env->Spawn(ReplayFromNet(cfg, target, &result->restore.trace, stream,
+                           &report, &replay_done));
+  co_await replay_done.Wait();
+
+  report.end_time = env->now();
+  report.cpu_busy_end = filer->cpu().BusyIntegral();
+  report.data_bytes = result->restore.stats.bytes_restored;
+  done->CountDown();
+}
+
+Task RemoteImageBackupJob(Filer* filer, Filesystem* fs, RemoteTarget target,
+                          ImageDumpOptions options, bool delete_snapshot_after,
+                          ImageBackupJobResult* result, CountdownLatch* done) {
+  SimEnvironment* env = filer->env();
+  JobReport& report = result->report;
+  report.name = "Remote physical backup";
+  report.start_time = env->now();
+  report.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  const std::string snap =
+      options.snapshot_name.empty() ? "image.remote" : options.snapshot_name;
+  options.snapshot_name = snap;
+  const bool created_here = !fs->FindSnapshot(snap).ok();
+  if (created_here) {
+    report.status = fs->CreateSnapshot(snap);
+    if (!report.status.ok()) {
+      done->CountDown();
+      co_return;
+    }
+    co_await SnapshotPhase(filer, &report, JobPhase::kCreateSnapshot,
+                           filer->model().snapshot_create_time);
+  }
+
+  options.dump_time = env->now();
+  Result<ImageDumpOutput> dump = RunImageDump(fs->volume(), options);
+  if (!dump.ok()) {
+    report.status = dump.status();
+    done->CountDown();
+    co_return;
+  }
+  result->dump = std::move(*dump);
+
+  ReplayConfig cfg = RemoteReplayConfig(filer, fs->volume(), target);
+  CountdownLatch replay_done(env, 1);
+  env->Spawn(ReplayToNet(cfg, target, &result->dump.trace,
+                         result->dump.stream, &report, &replay_done));
+  co_await replay_done.Wait();
+
+  if (delete_snapshot_after && created_here) {
+    Status del = fs->DeleteSnapshot(snap);
+    if (!del.ok() && report.status.ok()) {
+      report.status = del;
+    }
+    co_await SnapshotPhase(filer, &report, JobPhase::kDeleteSnapshot,
+                           filer->model().snapshot_delete_time);
+  }
+
+  report.end_time = env->now();
+  report.cpu_busy_end = filer->cpu().BusyIntegral();
+  report.data_bytes = result->dump.stats.blocks_dumped * kBlockSize;
+  done->CountDown();
+}
+
+Task RemoteImageRestoreJob(Filer* filer, Volume* volume, RemoteTarget target,
+                           ImageRestoreJobResult* result,
+                           CountdownLatch* done) {
+  SimEnvironment* env = filer->env();
+  JobReport& report = result->report;
+  report.name = "Remote physical restore";
+  report.start_time = env->now();
+  report.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  if (!target.drive->loaded()) {
+    report.status = FailedPrecondition("no tape loaded for restore");
+    done->CountDown();
+    co_return;
+  }
+  const std::vector<uint8_t> stream = SpliceMedia(target);
+  Result<ImageRestoreOutput> restored = RunImageRestore(volume, stream);
+  if (!restored.ok()) {
+    report.status = restored.status();
+    done->CountDown();
+    co_return;
+  }
+  result->restore = std::move(*restored);
+
+  ReplayConfig cfg = RemoteReplayConfig(filer, volume, target);
+  cfg.charge_nvram = false;  // image restore bypasses the NVRAM log
+  cfg.count_net_bytes = true;
+  CountdownLatch replay_done(env, 1);
+  env->Spawn(ReplayFromNet(cfg, target, &result->restore.trace, stream,
+                           &report, &replay_done));
+  co_await replay_done.Wait();
+
+  report.end_time = env->now();
+  report.cpu_busy_end = filer->cpu().BusyIntegral();
+  report.data_bytes = result->restore.stats.blocks_restored * kBlockSize;
+  done->CountDown();
+}
+
+Task ParallelRemoteImageBackupJob(Filer* filer, Filesystem* fs, NetLink* link,
+                                  TapeServer* server,
+                                  std::vector<TapeDrive*> drives,
+                                  ImageDumpOptions base_options,
+                                  bool delete_snapshot_after,
+                                  const SupervisionPolicy* supervision,
+                                  ParallelRemoteImageBackupResult* result,
+                                  CountdownLatch* done) {
+  assert(!drives.empty());
+  SimEnvironment* env = filer->env();
+  JobReport& control = result->control;
+  control.name = "Parallel remote physical backup (control)";
+  control.start_time = env->now();
+  control.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  const std::string snap = base_options.snapshot_name.empty()
+                               ? "image.remote.parallel"
+                               : base_options.snapshot_name;
+  const bool created_here = !fs->FindSnapshot(snap).ok();
+  if (created_here) {
+    control.status = fs->CreateSnapshot(snap);
+    if (!control.status.ok()) {
+      done->CountDown();
+      co_return;
+    }
+    co_await SnapshotPhase(filer, &control, JobPhase::kCreateSnapshot,
+                           filer->model().snapshot_create_time);
+  }
+
+  CountdownLatch parts_done(env, static_cast<int>(drives.size()));
+  for (size_t k = 0; k < drives.size(); ++k) {
+    ImageDumpOptions options = base_options;
+    options.snapshot_name = snap;
+    options.part_index = static_cast<uint32_t>(k);
+    options.part_count = static_cast<uint32_t>(drives.size());
+    options.dump_time = env->now();
+    RemoteTarget target;
+    target.link = link;
+    target.server = server;
+    target.drive = drives[k];
+    target.supervision = supervision;
+    result->parts.push_back(std::make_unique<ImageBackupJobResult>());
+    env->Spawn(RemoteImagePart(filer, fs, target, options,
+                               result->parts.back().get(), &parts_done));
+  }
+  co_await parts_done.Wait();
+
+  if (delete_snapshot_after && created_here) {
+    Status del = fs->DeleteSnapshot(snap);
+    if (!del.ok() && control.status.ok()) {
+      control.status = del;
+    }
+    co_await SnapshotPhase(filer, &control, JobPhase::kDeleteSnapshot,
+                           filer->model().snapshot_delete_time);
+  }
+  control.end_time = env->now();
+  control.cpu_busy_end = filer->cpu().BusyIntegral();
+
+  std::vector<JobReport> reports{control};
+  for (const auto& p : result->parts) {
+    reports.push_back(p->report);
+  }
+  result->merged = MergeReports("Parallel remote physical backup", reports);
+  done->CountDown();
+}
+
+}  // namespace bkup

@@ -1,0 +1,88 @@
+// Remote backup and restore: the local jobs of jobs.h with a simulated
+// network spliced between the filer and the tape.
+//
+// The paper's dump-stream portability claim (§2: the stream "can be written
+// to tape, to a file, or sent over a network"; §6's three-way restore
+// matrix) is exercised literally here — the same functional engines and the
+// same replay halves run, but the producer lives on the filer and the tape
+// writer on a `TapeServer` across a `NetLink`:
+//
+//     [disk reads + CPU] -> Channel<chunk> -> StreamConn -> [tape writes]
+//         (filer)                              (NetLink)    (tape server)
+//
+// A stream that outlives its connection (a frame lost beyond its retransmit
+// budget) is reconnected by the supervisor and resumed from the receiver's
+// acked watermark — the network analogue of the tape remount ladder. See
+// DESIGN.md §10 for the transport model.
+#ifndef BKUP_BACKUP_REMOTE_H_
+#define BKUP_BACKUP_REMOTE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/backup/jobs.h"
+#include "src/backup/supervisor.h"
+#include "src/net/link.h"
+#include "src/net/stream_conn.h"
+#include "src/net/tape_server.h"
+
+namespace bkup {
+
+// Where a remote job's stream lands (or comes from): one drive on a tape
+// server, reached over a link. `spare_tapes` plays the same double role as
+// in ReplayConfig — spanning set and remount pool, now on the server side.
+// A null `supervision` fails the job on the first unrecovered link or tape
+// error; with a policy, connections are re-made per `link_retry`.
+struct RemoteTarget {
+  NetLink* link = nullptr;
+  TapeServer* server = nullptr;
+  TapeDrive* drive = nullptr;
+  std::vector<Tape*> spare_tapes;
+  const SupervisionPolicy* supervision = nullptr;
+};
+
+// Snapshot create -> 4-phase dump, streamed over the link to the server's
+// drive -> snapshot delete. The report's net columns show the link payload.
+Task RemoteLogicalBackupJob(Filer* filer, Filesystem* fs, RemoteTarget target,
+                            LogicalDumpOptions options,
+                            LogicalBackupJobResult* result,
+                            CountdownLatch* done);
+
+// Restores a logical stream read off the server's drive, shipped to the
+// filer over the link, and replayed through the file system.
+Task RemoteLogicalRestoreJob(Filer* filer, Filesystem* fs, RemoteTarget target,
+                             LogicalRestoreOptions options, bool bypass_nvram,
+                             LogicalRestoreJobResult* result,
+                             CountdownLatch* done);
+
+// Block-order image dump streamed over the link to the server's drive.
+Task RemoteImageBackupJob(Filer* filer, Filesystem* fs, RemoteTarget target,
+                          ImageDumpOptions options, bool delete_snapshot_after,
+                          ImageBackupJobResult* result, CountdownLatch* done);
+
+// Image restore of the server-side media straight into the RAID layer.
+Task RemoteImageRestoreJob(Filer* filer, Volume* volume, RemoteTarget target,
+                           ImageRestoreJobResult* result, CountdownLatch* done);
+
+struct ParallelRemoteImageBackupResult {
+  std::vector<std::unique_ptr<ImageBackupJobResult>> parts;
+  JobReport control;
+  JobReport merged;
+};
+
+// Stripes one image dump over N server drives (part k of N per drive) from
+// one shared snapshot, each part on its own stream session — all of them
+// contending for the same link, which is what makes the link the bottleneck
+// where local parallel physical dump scales with drives.
+Task ParallelRemoteImageBackupJob(Filer* filer, Filesystem* fs, NetLink* link,
+                                  TapeServer* server,
+                                  std::vector<TapeDrive*> drives,
+                                  ImageDumpOptions base_options,
+                                  bool delete_snapshot_after,
+                                  const SupervisionPolicy* supervision,
+                                  ParallelRemoteImageBackupResult* result,
+                                  CountdownLatch* done);
+
+}  // namespace bkup
+
+#endif  // BKUP_BACKUP_REMOTE_H_

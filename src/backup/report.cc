@@ -26,6 +26,14 @@ double PhaseStats::TapeMBps() const {
   return BytesPerSecToMBps(static_cast<double>(tape_bytes) / SimToSeconds(e));
 }
 
+double PhaseStats::NetMBps() const {
+  const SimDuration e = elapsed();
+  if (e <= 0) {
+    return 0.0;
+  }
+  return BytesPerSecToMBps(static_cast<double>(net_bytes) / SimToSeconds(e));
+}
+
 void FaultCounters::Add(const FaultCounters& o) {
   disk_io_errors += o.disk_io_errors;
   disk_retries += o.disk_retries;
@@ -36,6 +44,10 @@ void FaultCounters::Add(const FaultCounters& o) {
   tape_remounts += o.tape_remounts;
   bytes_rewritten += o.bytes_rewritten;
   files_skipped += o.files_skipped;
+  link_errors += o.link_errors;
+  link_retransmits += o.link_retransmits;
+  link_reconnects += o.link_reconnects;
+  link_bytes_resent += o.link_bytes_resent;
 }
 
 void JobReport::TouchPhase(JobPhase p, SimTime now, int64_t cpu_busy) {
@@ -69,6 +81,14 @@ uint64_t JobReport::total_tape_bytes() const {
   uint64_t n = 0;
   for (const PhaseStats& p : phases) {
     n += p.tape_bytes;
+  }
+  return n;
+}
+
+uint64_t JobReport::total_net_bytes() const {
+  uint64_t n = 0;
+  for (const PhaseStats& p : phases) {
+    n += p.net_bytes;
   }
   return n;
 }
@@ -107,6 +127,15 @@ double JobReport::TapeMBps() const {
                            SimToSeconds(e));
 }
 
+double JobReport::NetMBps() const {
+  const SimDuration e = StreamElapsed();
+  if (e <= 0) {
+    return 0.0;
+  }
+  return BytesPerSecToMBps(static_cast<double>(total_net_bytes()) /
+                           SimToSeconds(e));
+}
+
 void JobReport::PrintSummaryRow(FILE* out) const {
   std::fprintf(out, "%-24s %12s %10.2f %10.1f\n", name.c_str(),
                FormatDuration(elapsed()).c_str(), MBps(), GBph());
@@ -118,11 +147,15 @@ void JobReport::PrintPhaseRows(FILE* out) const {
     if (!p.active() || p.elapsed() <= 0) {
       continue;
     }
-    std::fprintf(out, "  %-32s %14s %8s  disk %7.2f MB/s  tape %7.2f MB/s\n",
+    std::fprintf(out, "  %-32s %14s %8s  disk %7.2f MB/s  tape %7.2f MB/s",
                  JobPhaseName(static_cast<JobPhase>(i)),
                  FormatDuration(p.elapsed()).c_str(),
                  FormatPercent(p.CpuUtilization()).c_str(), p.DiskMBps(),
                  p.TapeMBps());
+    if (p.net_bytes > 0) {
+      std::fprintf(out, "  net %7.2f MB/s", p.NetMBps());
+    }
+    std::fprintf(out, "\n");
   }
 }
 
@@ -139,6 +172,7 @@ void JobReport::WriteJson(JsonWriter* w) const {
   w->Field("stream_cpu_utilization", StreamCpuUtilization());
   w->Field("disk_mb_per_s", DiskMBps());
   w->Field("tape_mb_per_s", TapeMBps());
+  w->Field("net_mb_per_s", NetMBps());
   w->Field("stream_bytes", stream_bytes);
   w->Field("data_bytes", data_bytes);
   w->Key("tapes_used").BeginArray();
@@ -162,6 +196,10 @@ void JobReport::WriteJson(JsonWriter* w) const {
       .Field("tape_remounts", faults.tape_remounts)
       .Field("bytes_rewritten", faults.bytes_rewritten)
       .Field("files_skipped", faults.files_skipped)
+      .Field("link_errors", faults.link_errors)
+      .Field("link_retransmits", faults.link_retransmits)
+      .Field("link_reconnects", faults.link_reconnects)
+      .Field("link_bytes_resent", faults.link_bytes_resent)
       .EndObject();
   w->Key("phases").BeginArray();
   for (int i = 0; i < static_cast<int>(JobPhase::kCount); ++i) {
@@ -176,8 +214,10 @@ void JobReport::WriteJson(JsonWriter* w) const {
         .Field("cpu_utilization", p.CpuUtilization())
         .Field("disk_bytes", p.disk_bytes)
         .Field("tape_bytes", p.tape_bytes)
+        .Field("net_bytes", p.net_bytes)
         .Field("disk_mb_per_s", p.DiskMBps())
         .Field("tape_mb_per_s", p.TapeMBps())
+        .Field("net_mb_per_s", p.NetMBps())
         .EndObject();
   }
   w->EndArray();
@@ -227,6 +267,7 @@ JobReport MergeReports(const std::string& name,
       m.cpu_busy_end = std::max(m.cpu_busy_end, p.cpu_busy_end);
       m.disk_bytes += p.disk_bytes;
       m.tape_bytes += p.tape_bytes;
+      m.net_bytes += p.net_bytes;
     }
   }
   return merged;

@@ -26,6 +26,7 @@ struct PhaseStats {
   int64_t cpu_busy_end = 0;
   uint64_t disk_bytes = 0;
   uint64_t tape_bytes = 0;
+  uint64_t net_bytes = 0;  // stream payload sent/received over a NetLink
 
   bool active() const { return start >= 0; }
   SimDuration elapsed() const { return active() ? end - start : 0; }
@@ -44,6 +45,7 @@ struct PhaseStats {
   // Device throughput over the phase window.
   double DiskMBps() const;
   double TapeMBps() const;
+  double NetMBps() const;
 };
 
 // Recovery work a job performed in response to injected (or organic) device
@@ -60,11 +62,16 @@ struct FaultCounters {
   uint64_t tape_remounts = 0;          // media abandoned for a spare
   uint64_t bytes_rewritten = 0;        // stream bytes re-sent after remounts
   uint64_t files_skipped = 0;          // unreadable files dropped from a dump
+  uint64_t link_errors = 0;            // stream connections that failed
+  uint64_t link_retransmits = 0;       // frames re-sent inside a connection
+  uint64_t link_reconnects = 0;        // fresh connections the supervisor made
+  uint64_t link_bytes_resent = 0;      // stream bytes re-sent past the ack
 
   bool any() const {
     return disk_io_errors + disk_retries + reconstruction_reads +
                spare_disks_used + tape_errors + tape_retries + tape_remounts +
-               bytes_rewritten + files_skipped >
+               bytes_rewritten + files_skipped + link_errors +
+               link_retransmits + link_reconnects + link_bytes_resent >
            0;
   }
   void Add(const FaultCounters& o);
@@ -121,9 +128,13 @@ struct JobReport {
   // Tape MB/s columns of Tables 4-5).
   uint64_t total_disk_bytes() const;
   uint64_t total_tape_bytes() const;
+  uint64_t total_net_bytes() const;
   // Device throughput over the streaming window.
   double DiskMBps() const;
   double TapeMBps() const;
+  // Link payload throughput over the streaming window (remote jobs only;
+  // zero for local jobs, which never touch a NetLink).
+  double NetMBps() const;
 
   // Prints "Operation / Elapsed / MB/s / GB/h" (Table 2 row).
   void PrintSummaryRow(FILE* out) const;

@@ -32,6 +32,12 @@ struct SupervisionPolicy {
   RetryPolicy tape_retry{.max_attempts = 4,
                          .initial_backoff = 250 * kMillisecond,
                          .max_backoff = 2 * kSecond};
+  // Remote jobs: a stream connection that fails (a frame lost beyond its
+  // retransmit budget) is reconnected and resumed from the receiver's acked
+  // watermark, up to max_attempts fresh connections per stream.
+  RetryPolicy link_retry{.max_attempts = 5,
+                         .initial_backoff = 500 * kMillisecond,
+                         .max_backoff = 5 * kSecond};
   int hot_spare_disks = 1;
   bool reconstruct_on_disk_failure = true;
   bool remount_on_media_error = true;

@@ -27,6 +27,14 @@ const char* FaultKindName(FaultKind kind) {
       return "tape-flaky";
     case FaultKind::kTapeDriveFailure:
       return "tape-drive-failure";
+    case FaultKind::kLinkDown:
+      return "link-down";
+    case FaultKind::kLinkFlaky:
+      return "link-flaky";
+    case FaultKind::kLinkCorrupt:
+      return "link-corrupt";
+    case FaultKind::kLinkStall:
+      return "link-stall";
   }
   return "unknown";
 }
@@ -181,6 +189,52 @@ Status FaultInjector::OnTapeTransfer(TapeDrive* drive, uint64_t position,
       }
       default:
         break;  // disk kinds never match a tape transfer
+    }
+  }
+  return result;
+}
+
+LinkFault FaultInjector::OnFrame(NetLink* link, uint64_t offset,
+                                 uint64_t nbytes) {
+  (void)offset;
+  (void)nbytes;
+  LinkFault result;
+  for (size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& spec = plan_.faults[i];
+    SpecState& st = state_[i];
+    if (!spec.target.empty() && spec.target != link->name()) {
+      continue;
+    }
+    switch (spec.kind) {
+      case FaultKind::kLinkDown:
+        if (InWindow(spec)) {
+          ++stats_.link_faults_injected;
+          result.action = LinkFault::Action::kDrop;
+        }
+        break;
+      case FaultKind::kLinkFlaky:
+        // Draw even outside the window so the stream position depends only
+        // on the frame sequence, not on when the window opens.
+        if (st.rng.Chance(spec.probability) && InWindow(spec)) {
+          ++stats_.link_faults_injected;
+          result.action = LinkFault::Action::kDrop;
+        }
+        break;
+      case FaultKind::kLinkCorrupt:
+        if (st.rng.Chance(spec.probability) && InWindow(spec) &&
+            result.action == LinkFault::Action::kDeliver) {
+          ++stats_.link_faults_injected;
+          result.action = LinkFault::Action::kCorrupt;
+        }
+        break;
+      case FaultKind::kLinkStall:
+        if (InWindow(spec)) {
+          ++stats_.link_stalls_injected;
+          result.stall += spec.stall;
+        }
+        break;
+      default:
+        break;  // disk/tape kinds never match a frame
     }
   }
   return result;

@@ -26,6 +26,8 @@
 #include "src/block/fault_hook.h"
 #include "src/block/tape.h"
 #include "src/faults/fault_plan.h"
+#include "src/net/link.h"
+#include "src/net/link_fault.h"
 #include "src/raid/volume.h"
 #include "src/sim/environment.h"
 #include "src/util/random.h"
@@ -41,15 +43,18 @@ struct FaultInjectorStats {
   uint64_t tape_faults_injected = 0;
   uint64_t media_defects_applied = 0;  // defect ranges latently corrupted
   uint64_t drives_killed = 0;
+  uint64_t link_faults_injected = 0;   // frames dropped or corrupted
+  uint64_t link_stalls_injected = 0;   // frames held on a stalled wire
 
   bool any() const {
     return disk_faults_injected + disks_killed + tape_faults_injected +
-               media_defects_applied + drives_killed >
+               media_defects_applied + drives_killed + link_faults_injected +
+               link_stalls_injected >
            0;
   }
 };
 
-class FaultInjector : public DeviceFaultHook {
+class FaultInjector : public DeviceFaultHook, public LinkFaultHook {
  public:
   FaultInjector(SimEnvironment* env, FaultPlan plan);
 
@@ -57,10 +62,12 @@ class FaultInjector : public DeviceFaultHook {
   // outlive every armed device (or be disarmed first).
   void Arm(Disk* disk) { disk->set_fault_hook(this); }
   void Arm(TapeDrive* drive) { drive->set_fault_hook(this); }
+  void Arm(NetLink* link) { link->set_fault_hook(this); }
   void Arm(Volume* volume);
 
   void Disarm(Disk* disk) { disk->set_fault_hook(nullptr); }
   void Disarm(TapeDrive* drive) { drive->set_fault_hook(nullptr); }
+  void Disarm(NetLink* link) { link->set_fault_hook(nullptr); }
   void Disarm(Volume* volume);
 
   // DeviceFaultHook:
@@ -69,6 +76,9 @@ class FaultInjector : public DeviceFaultHook {
                      uint64_t nbytes) override;
   Status OnTapeRead(TapeDrive* drive, uint64_t position,
                     uint64_t nbytes) override;
+
+  // LinkFaultHook:
+  LinkFault OnFrame(NetLink* link, uint64_t offset, uint64_t nbytes) override;
 
   const FaultPlan& plan() const { return plan_; }
   const FaultInjectorStats& stats() const { return stats_; }

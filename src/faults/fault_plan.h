@@ -34,6 +34,15 @@ enum class FaultKind {
                      // latently corrupted bytes for record CRCs to catch
   kTapeFlaky,        // each transfer fails with probability p in [start,end)
   kTapeDriveFailure, // drive dies once it has moved `after_bytes` bytes
+  // Link faults (matched against a NetLink's name). These decide the fate of
+  // individual frames; the connection's retransmit budget and the
+  // supervisor's reconnect-from-ack ladder are what turn them into either
+  // invisible hiccups or counted recoveries.
+  kLinkDown,         // every frame in [start, end) is lost (cable pull)
+  kLinkFlaky,        // each frame lost with probability p in [start, end)
+  kLinkCorrupt,      // each frame corrupted with prob. p (checksum rejects)
+  kLinkStall,        // each frame in [start, end) holds the wire `stall`
+                     // longer before serializing (congestion, pause frames)
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -50,6 +59,7 @@ struct FaultSpec {
   uint64_t after_bytes = 0;   // byte-odometer trigger (failure kinds)
   uint64_t offset = 0;        // defect placement on the media
   uint64_t length = 0;
+  SimDuration stall = 0;      // extra wire-hold time (kLinkStall)
 };
 
 struct FaultPlan {
@@ -111,6 +121,42 @@ struct FaultPlan {
     faults.push_back({.kind = FaultKind::kTapeDriveFailure,
                       .target = std::move(target),
                       .after_bytes = after_bytes});
+    return *this;
+  }
+  FaultPlan& LinkDown(std::string target, SimTime start, SimTime end) {
+    faults.push_back({.kind = FaultKind::kLinkDown,
+                      .target = std::move(target),
+                      .start = start,
+                      .end = end});
+    return *this;
+  }
+  FaultPlan& LinkFlaky(std::string target, double probability,
+                       SimTime start = 0,
+                       SimTime end = std::numeric_limits<SimTime>::max()) {
+    faults.push_back({.kind = FaultKind::kLinkFlaky,
+                      .target = std::move(target),
+                      .start = start,
+                      .end = end,
+                      .probability = probability});
+    return *this;
+  }
+  FaultPlan& LinkCorrupt(std::string target, double probability,
+                         SimTime start = 0,
+                         SimTime end = std::numeric_limits<SimTime>::max()) {
+    faults.push_back({.kind = FaultKind::kLinkCorrupt,
+                      .target = std::move(target),
+                      .start = start,
+                      .end = end,
+                      .probability = probability});
+    return *this;
+  }
+  FaultPlan& LinkStall(std::string target, SimDuration stall, SimTime start,
+                       SimTime end) {
+    faults.push_back({.kind = FaultKind::kLinkStall,
+                      .target = std::move(target),
+                      .start = start,
+                      .end = end,
+                      .stall = stall});
     return *this;
   }
 };

@@ -1,0 +1,42 @@
+// Link-level fault injection hook.
+//
+// A `NetLink` consults an optional `LinkFaultHook` once per frame, before the
+// frame occupies the wire. The implementation — the same fault engine that
+// drives disks and tapes (src/faults) — decides the frame's fate from its
+// armed plan and the simulation clock. Keeping the interface here mirrors
+// `DeviceFaultHook` in src/block: src/net stays free of any dependency on the
+// fault subsystem while every link remains injectable.
+#ifndef BKUP_NET_LINK_FAULT_H_
+#define BKUP_NET_LINK_FAULT_H_
+
+#include <cstdint>
+
+#include "src/util/units.h"
+
+namespace bkup {
+
+class NetLink;
+
+// What happens to one frame. A stall delays the frame while it *holds the
+// wire* (a congested or pausing link), so ordering is preserved; a drop
+// models loss the sender detects by retransmit timeout; a corrupt frame is
+// delivered but fails the receiver's checksum and is rejected there.
+struct LinkFault {
+  enum class Action : uint8_t { kDeliver, kDrop, kCorrupt };
+  Action action = Action::kDeliver;
+  SimDuration stall = 0;
+};
+
+class LinkFaultHook {
+ public:
+  virtual ~LinkFaultHook() = default;
+
+  // Consulted once per frame transmission (including retransmits), with the
+  // frame's stream offset and payload size.
+  virtual LinkFault OnFrame(NetLink* link, uint64_t offset,
+                            uint64_t nbytes) = 0;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_NET_LINK_FAULT_H_

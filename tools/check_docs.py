@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker, run under ctest (label: docs).
+
+Keeps the prose honest against the tree:
+
+  1. every library under src/ is described in docs/ARCHITECTURE.md;
+  2. every "DESIGN.md §N" reference in source comments points at a
+     section that actually exists in DESIGN.md;
+  3. CHANGES.md carries one "- PR N:" entry per landed PR, contiguously
+     numbered (a PR that forgets its line fails the suite).
+
+Usage: check_docs.py [repo_root]   (defaults to the parent of tools/)
+"""
+
+import os
+import re
+import sys
+
+
+def fail(errors):
+    for e in errors:
+        print("FAIL: %s" % e)
+    print("%d documentation check(s) failed" % len(errors))
+    return 1
+
+
+def source_files(root):
+    for base in ("src", "bench", "tests", "examples", "tools"):
+        top = os.path.join(root, base)
+        for dirpath, _, names in os.walk(top):
+            for name in names:
+                if name.endswith((".h", ".cc", ".cpp", ".py")):
+                    yield os.path.join(dirpath, name)
+
+
+def check_architecture(root, errors):
+    arch_path = os.path.join(root, "docs", "ARCHITECTURE.md")
+    if not os.path.exists(arch_path):
+        errors.append("docs/ARCHITECTURE.md does not exist")
+        return
+    with open(arch_path, encoding="utf-8") as f:
+        arch = f.read()
+    libs = sorted(
+        d for d in os.listdir(os.path.join(root, "src"))
+        if os.path.isdir(os.path.join(root, "src", d))
+    )
+    if not libs:
+        errors.append("no libraries found under src/ (wrong repo root?)")
+    for lib in libs:
+        if "src/%s" % lib not in arch:
+            errors.append(
+                "docs/ARCHITECTURE.md does not mention src/%s" % lib)
+
+
+def design_sections(root):
+    with open(os.path.join(root, "DESIGN.md"), encoding="utf-8") as f:
+        text = f.read()
+    return set(
+        int(m.group(1))
+        for m in re.finditer(r"^## (\d+)\.", text, flags=re.MULTILINE)
+    )
+
+
+def check_design_refs(root, errors):
+    sections = design_sections(root)
+    if not sections:
+        errors.append("DESIGN.md has no numbered '## N.' sections")
+        return
+    ref_re = re.compile(r"DESIGN\.md (?:§|section )(\d+)")
+    for path in source_files(root):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for lineno, line in enumerate(f, 1):
+                for m in ref_re.finditer(line):
+                    num = int(m.group(1))
+                    if num not in sections:
+                        errors.append(
+                            "%s:%d references DESIGN.md §%d, which does "
+                            "not exist (sections: %s)"
+                            % (os.path.relpath(path, root), lineno, num,
+                               sorted(sections)))
+
+
+def check_changes(root, errors):
+    path = os.path.join(root, "CHANGES.md")
+    if not os.path.exists(path):
+        errors.append("CHANGES.md does not exist")
+        return
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    prs = sorted(
+        int(m.group(1))
+        for m in re.finditer(r"^- PR (\d+):", text, flags=re.MULTILINE)
+    )
+    if not prs:
+        errors.append("CHANGES.md has no '- PR N:' entries")
+        return
+    expected = list(range(prs[0], prs[0] + len(prs)))
+    if prs != expected:
+        missing = sorted(set(expected) - set(prs))
+        errors.append(
+            "CHANGES.md PR entries are not contiguous: have %s, missing %s"
+            % (prs, missing))
+
+
+def main(argv):
+    root = os.path.abspath(
+        argv[1] if len(argv) > 1
+        else os.path.join(os.path.dirname(__file__), os.pardir))
+    errors = []
+    check_architecture(root, errors)
+    check_design_refs(root, errors)
+    check_changes(root, errors)
+    if errors:
+        return fail(errors)
+    print("documentation checks OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
