@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/backup/supervisor.h"
+
 namespace bkup {
 
 namespace {
@@ -9,13 +11,17 @@ namespace {
 // One logical part: functional dump of a subtree, then replay to its drive.
 Task LogicalPart(Filer* filer, Filesystem* fs, TapeDrive* drive,
                  LogicalDumpOptions options, LogicalBackupJobResult* part,
-                 CountdownLatch* latch) {
+                 CountdownLatch* latch, const SupervisionPolicy* supervision,
+                 std::vector<Tape*> spare_tapes) {
   SimEnvironment* env = filer->env();
   JobReport& report = part->report;
   report.name = "Logical backup [" + options.subtree + "]";
   report.start_time = env->now();
   report.cpu_busy_start = filer->cpu().BusyIntegral();
 
+  if (supervision != nullptr && supervision->skip_unreadable_files) {
+    options.skip_unreadable = true;
+  }
   Result<FsReader> reader = fs->SnapshotReader(options.snapshot_name);
   if (!reader.ok()) {
     report.status = reader.status();
@@ -29,11 +35,14 @@ Task LogicalPart(Filer* filer, Filesystem* fs, TapeDrive* drive,
     co_return;
   }
   part->dump = std::move(*dump);
+  report.faults.files_skipped += part->dump.stats.files_skipped;
 
   ReplayConfig cfg;
   cfg.filer = filer;
   cfg.volume = fs->volume();
   cfg.tape = drive;
+  cfg.spare_tapes = std::move(spare_tapes);
+  cfg.supervision = supervision;
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayToTape(cfg, &part->dump.trace, part->dump.stream, &report,
                           &replay_done));
@@ -47,7 +56,8 @@ Task LogicalPart(Filer* filer, Filesystem* fs, TapeDrive* drive,
 
 Task ImagePart(Filer* filer, Filesystem* fs, TapeDrive* drive,
                ImageDumpOptions options, ImageBackupJobResult* part,
-               CountdownLatch* latch) {
+               CountdownLatch* latch, const SupervisionPolicy* supervision,
+               std::vector<Tape*> spare_tapes) {
   SimEnvironment* env = filer->env();
   JobReport& report = part->report;
   report.name = "Physical backup [part " +
@@ -68,6 +78,8 @@ Task ImagePart(Filer* filer, Filesystem* fs, TapeDrive* drive,
   cfg.filer = filer;
   cfg.volume = fs->volume();
   cfg.tape = drive;
+  cfg.spare_tapes = std::move(spare_tapes);
+  cfg.supervision = supervision;
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayToTape(cfg, &part->dump.trace, part->dump.stream, &report,
                           &replay_done));
@@ -77,6 +89,13 @@ Task ImagePart(Filer* filer, Filesystem* fs, TapeDrive* drive,
   report.cpu_busy_end = filer->cpu().BusyIntegral();
   report.data_bytes = part->dump.stats.blocks_dumped * kBlockSize;
   latch->CountDown();
+}
+
+// The stacker slice for part `k`: per-drive remount media, empty when the
+// caller supplied none.
+std::vector<Tape*> SpareSlice(const std::vector<std::vector<Tape*>>& spares,
+                              size_t k) {
+  return k < spares.size() ? spares[k] : std::vector<Tape*>{};
 }
 
 std::vector<JobReport> CollectReports(
@@ -99,7 +118,9 @@ Task ParallelLogicalBackupJob(Filer* filer, Filesystem* fs,
                               std::vector<std::string> subtrees,
                               LogicalDumpOptions base_options,
                               ParallelLogicalBackupResult* result,
-                              CountdownLatch* done) {
+                              CountdownLatch* done,
+                              const SupervisionPolicy* supervision,
+                              std::vector<std::vector<Tape*>> spare_tapes) {
   assert(drives.size() == subtrees.size() && !drives.empty());
   SimEnvironment* env = filer->env();
   JobReport& control = result->control;
@@ -126,7 +147,8 @@ Task ParallelLogicalBackupJob(Filer* filer, Filesystem* fs,
     options.dump_time = env->now();
     result->parts.push_back(std::make_unique<LogicalBackupJobResult>());
     env->Spawn(LogicalPart(filer, fs, drives[k], options,
-                           result->parts.back().get(), &parts_done));
+                           result->parts.back().get(), &parts_done,
+                           supervision, SpareSlice(spare_tapes, k)));
   }
   co_await parts_done.Wait();
 
@@ -183,7 +205,9 @@ Task ParallelImageBackupJob(Filer* filer, Filesystem* fs,
                             ImageDumpOptions base_options,
                             bool delete_snapshot_after,
                             ParallelImageBackupResult* result,
-                            CountdownLatch* done) {
+                            CountdownLatch* done,
+                            const SupervisionPolicy* supervision,
+                            std::vector<std::vector<Tape*>> spare_tapes) {
   assert(!drives.empty());
   SimEnvironment* env = filer->env();
   JobReport& control = result->control;
@@ -214,7 +238,8 @@ Task ParallelImageBackupJob(Filer* filer, Filesystem* fs,
     options.dump_time = env->now();
     result->parts.push_back(std::make_unique<ImageBackupJobResult>());
     env->Spawn(ImagePart(filer, fs, drives[k], options,
-                         result->parts.back().get(), &parts_done));
+                         result->parts.back().get(), &parts_done,
+                         supervision, SpareSlice(spare_tapes, k)));
   }
   co_await parts_done.Wait();
 

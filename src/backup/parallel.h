@@ -27,12 +27,17 @@ struct ParallelLogicalBackupResult {
 };
 
 // Dumps `subtrees[k]` to `drives[k]` concurrently from one shared snapshot.
+// With `supervision`, each part's replay runs the retry/remount ladder of
+// src/backup/supervisor, drawing remount media from `spare_tapes[k]` (the
+// per-drive slice of the stacker; may be shorter than `drives`).
 Task ParallelLogicalBackupJob(Filer* filer, Filesystem* fs,
                               std::vector<TapeDrive*> drives,
                               std::vector<std::string> subtrees,
                               LogicalDumpOptions base_options,
                               ParallelLogicalBackupResult* result,
-                              CountdownLatch* done);
+                              CountdownLatch* done,
+                              const SupervisionPolicy* supervision = nullptr,
+                              std::vector<std::vector<Tape*>> spare_tapes = {});
 
 struct ParallelLogicalRestoreResult {
   std::vector<std::unique_ptr<LogicalRestoreJobResult>> parts;
@@ -55,13 +60,16 @@ struct ParallelImageBackupResult {
 };
 
 // Stripes one image dump over N drives (part k of N per drive) from one
-// shared snapshot.
+// shared snapshot. Supervision and per-drive remount media as for the
+// logical variant above.
 Task ParallelImageBackupJob(Filer* filer, Filesystem* fs,
                             std::vector<TapeDrive*> drives,
                             ImageDumpOptions base_options,
                             bool delete_snapshot_after,
                             ParallelImageBackupResult* result,
-                            CountdownLatch* done);
+                            CountdownLatch* done,
+                            const SupervisionPolicy* supervision = nullptr,
+                            std::vector<std::vector<Tape*>> spare_tapes = {});
 
 struct ParallelImageRestoreResult {
   std::vector<std::unique_ptr<ImageRestoreJobResult>> parts;

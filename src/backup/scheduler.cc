@@ -1,0 +1,868 @@
+#include "src/backup/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+#include <numeric>
+#include <optional>
+
+#include "src/obs/json.h"
+
+namespace bkup {
+
+namespace {
+
+bool IsLogical(BackupMode mode) {
+  return mode == BackupMode::kLogicalFull ||
+         mode == BackupMode::kLogicalIncremental;
+}
+
+bool IsRemote(BackupMode mode) { return mode == BackupMode::kRemoteImage; }
+
+// A logical dump's quota trees partition the volume, so the part count is
+// fixed: either exactly subtrees.size() drives or a single whole-tree dump.
+// Image dumps stripe, so they flex between one drive and the configured
+// parallelism.
+uint32_t MinDrivesFor(const VolumeSpec& spec) {
+  if (IsLogical(spec.mode) && !spec.subtrees.empty()) {
+    return static_cast<uint32_t>(spec.subtrees.size());
+  }
+  return 1;
+}
+
+uint32_t MaxDrivesFor(const VolumeSpec& spec) {
+  if (IsLogical(spec.mode)) {
+    return MinDrivesFor(spec);
+  }
+  return spec.parallelism > 0 ? spec.parallelism : 1;
+}
+
+constexpr SimTime kNoDeadline = std::numeric_limits<SimTime>::max();
+
+void AppendLine(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf);
+}
+
+}  // namespace
+
+const char* BackupModeName(BackupMode mode) {
+  switch (mode) {
+    case BackupMode::kLogicalFull:
+      return "logical-full";
+    case BackupMode::kLogicalIncremental:
+      return "logical-incremental";
+    case BackupMode::kImage:
+      return "image";
+    case BackupMode::kRemoteImage:
+      return "remote-image";
+  }
+  return "unknown";
+}
+
+NightlyScheduler::NightlyScheduler(Filer* filer, FleetConfig config,
+                                   std::vector<VolumeSpec> volumes)
+    : filer_(filer),
+      config_(std::move(config)),
+      volumes_(std::move(volumes)) {
+  assert(filer_ != nullptr);
+  assert(!config_.drives.empty());
+  assert(config_.library != nullptr);
+  for (const VolumeSpec& v : volumes_) {
+    assert(v.fs != nullptr);
+    assert(MinDrivesFor(v) <= config_.drives.size() &&
+           "volume needs more drives than the fleet has");
+    if (IsRemote(v.mode)) {
+      assert(config_.link != nullptr && config_.server != nullptr &&
+             "remote volume in a fleet without a link/tape server");
+    }
+    (void)v;
+  }
+}
+
+SimDuration NightlyScheduler::EstimatedDuration(const VolumeSpec& spec,
+                                                uint32_t drives) const {
+  if (drives == 0) {
+    drives = 1;
+  }
+  const double bytes_per_s =
+      config_.planning_mb_per_s * 1e6 * static_cast<double>(drives);
+  return SecondsToSim(static_cast<double>(spec.estimated_bytes) /
+                      bytes_per_s) +
+         config_.planning_fixed_cost;
+}
+
+SimTime NightlyScheduler::LatestFeasibleStart(const VolumeSpec& spec) const {
+  if (spec.deadline == kNoDeadline) {
+    return kNoDeadline;
+  }
+  return spec.deadline - EstimatedDuration(spec, MinDrivesFor(spec));
+}
+
+bool NightlyScheduler::QueueBefore(size_t a, size_t b) const {
+  const VolumeSpec& va = volumes_[a];
+  const VolumeSpec& vb = volumes_[b];
+  if (va.priority != vb.priority) {
+    return va.priority > vb.priority;
+  }
+  if (va.deadline != vb.deadline) {
+    return va.deadline < vb.deadline;
+  }
+  if (va.name != vb.name) {
+    return va.name < vb.name;
+  }
+  return a < b;
+}
+
+// ----------------------------------------------------------------- plan ---
+
+NightPlan NightlyScheduler::BuildPlan() const {
+  const size_t ndrv = config_.drives.size();
+  NightPlan plan;
+
+  std::vector<SimTime> free_at(ndrv, 0);
+  std::vector<size_t> pending(volumes_.size());
+  std::iota(pending.begin(), pending.end(), size_t{0});
+  std::sort(pending.begin(), pending.end(),
+            [this](size_t a, size_t b) { return QueueBefore(a, b); });
+
+  // Plan-time link accounting: dispatched remote estimates never come back,
+  // so a rejection is permanent and the volume is left out of the plan.
+  uint64_t planned_link_bytes = 0;
+
+  SimTime t = 0;
+  while (!pending.empty()) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      std::vector<int> idle;
+      for (size_t d = 0; d < ndrv; ++d) {
+        if (free_at[d] <= t) {
+          idle.push_back(static_cast<int>(d));
+        }
+      }
+      if (idle.empty()) {
+        break;
+      }
+      std::vector<size_t> parked;
+      for (auto it = pending.begin(); it != pending.end(); ++it) {
+        if (!parked.empty() && !config_.backfill) {
+          break;  // strict order: the parked head blocks everything behind it
+        }
+        const size_t v = *it;
+        const VolumeSpec& spec = volumes_[v];
+        const uint32_t min_d = MinDrivesFor(spec);
+        const uint32_t max_d = MaxDrivesFor(spec);
+
+        std::vector<int> take;
+        int aff = spec.affinity_drive;
+        if (aff >= 0 && static_cast<size_t>(aff) >= ndrv) {
+          aff = -1;
+        }
+        if (aff >= 0) {
+          if (free_at[aff] <= t) {
+            take.push_back(aff);
+            for (int d : idle) {
+              if (d != aff && take.size() < max_d) {
+                take.push_back(d);
+              }
+            }
+          } else if (t >= LatestFeasibleStart(spec)) {
+            for (int d : idle) {
+              if (take.size() < max_d) {
+                take.push_back(d);
+              }
+            }
+          } else {
+            parked.push_back(v);
+            continue;
+          }
+        } else {
+          for (int d : idle) {
+            if (take.size() < max_d) {
+              take.push_back(d);
+            }
+          }
+        }
+        if (take.size() < min_d) {
+          parked.push_back(v);
+          continue;
+        }
+        if (IsRemote(spec.mode) && config_.budget != nullptr &&
+            !config_.budget->unlimited() &&
+            planned_link_bytes + spec.estimated_bytes >
+                config_.budget->nightly_bytes()) {
+          pending.erase(it);  // cannot ever fit tonight: not in the plan
+          progress = true;
+          break;
+        }
+        const SimDuration est =
+            EstimatedDuration(spec, static_cast<uint32_t>(take.size()));
+        const bool backfill = !parked.empty();
+        if (backfill) {
+          bool safe = true;
+          for (size_t u : parked) {
+            if (t + est > LatestFeasibleStart(volumes_[u])) {
+              safe = false;
+              break;
+            }
+          }
+          if (!safe) {
+            parked.push_back(v);
+            continue;
+          }
+        }
+        for (int d : take) {
+          free_at[d] = t + est;
+          plan.assignments.push_back(PlannedAssignment{v, d, t, est, backfill});
+        }
+        if (IsRemote(spec.mode)) {
+          planned_link_bytes += spec.estimated_bytes;
+        }
+        pending.erase(it);
+        progress = true;
+        break;
+      }
+    }
+    if (pending.empty()) {
+      break;
+    }
+    // Advance to the next decision point: a drive freeing, or a parked
+    // affinity-waiter crossing its latest feasible fallback start.
+    SimTime next = kNoDeadline;
+    for (SimTime f : free_at) {
+      if (f > t) {
+        next = std::min(next, f);
+      }
+    }
+    for (size_t v : pending) {
+      const VolumeSpec& spec = volumes_[v];
+      if (spec.affinity_drive >= 0 && spec.deadline != kNoDeadline) {
+        const SimTime lfs = LatestFeasibleStart(spec);
+        if (lfs > t) {
+          next = std::min(next, lfs);
+        }
+      }
+    }
+    assert(next != kNoDeadline && "plan stuck with idle drives");
+    t = next;
+  }
+  for (SimTime f : free_at) {
+    plan.projected_makespan = std::max(plan.projected_makespan, f);
+  }
+  return plan;
+}
+
+std::string NightPlan::Serialize(
+    const std::vector<VolumeSpec>& volumes) const {
+  std::string out = "nightplan v1\n";
+  for (const PlannedAssignment& a : assignments) {
+    AppendLine(&out, "assign %s drive=%d start=%lld est=%lld backfill=%d\n",
+               volumes[a.volume].name.c_str(), a.drive,
+               static_cast<long long>(a.start),
+               static_cast<long long>(a.estimated), a.backfill ? 1 : 0);
+  }
+  AppendLine(&out, "makespan %lld\n",
+             static_cast<long long>(projected_makespan));
+  return out;
+}
+
+// ------------------------------------------------------------ execution ---
+
+struct NightlyScheduler::Completion {
+  bool timer = false;
+  size_t vol = 0;
+  int attempt = 0;
+  std::vector<int> drive_idx;
+  std::vector<Status> part_status;  // parallel to drive_idx
+  std::vector<std::vector<std::string>> part_media;
+  JobReport merged;
+  bool ok = false;
+  SimTime started = 0;
+  uint64_t link_reservation = 0;
+};
+
+Task NightlyScheduler::Waker(SimDuration delay,
+                             Channel<Completion>* completions) {
+  co_await filer_->env()->Delay(delay);
+  Completion tick;
+  tick.timer = true;
+  co_await completions->Send(std::move(tick));
+}
+
+namespace {
+
+// Joins a timed media load into a latch (TimedLoadMedia is a bare Task).
+Task LoadOne(TapeDrive* drive, Tape* tape, CountdownLatch* latch) {
+  co_await drive->TimedLoadMedia(tape);
+  latch->CountDown();
+}
+
+}  // namespace
+
+Task NightlyScheduler::RunOne(size_t vol, int attempt,
+                              std::vector<int> drive_idx,
+                              std::vector<Tape*> primaries,
+                              std::vector<std::vector<Tape*>> spares,
+                              uint64_t link_reservation,
+                              Channel<Completion>* completions) {
+  SimEnvironment* env = filer_->env();
+  const VolumeSpec& spec = volumes_[vol];
+
+  Completion c;
+  c.vol = vol;
+  c.attempt = attempt;
+  c.drive_idx = drive_idx;
+  c.started = env->now();
+  c.link_reservation = link_reservation;
+
+  std::vector<TapeDrive*> drives;
+  for (int d : drive_idx) {
+    drives.push_back(config_.drives[d]);
+  }
+
+  // Every attempt mounts fresh media, all drives loading concurrently (the
+  // stackers work in parallel; the job starts when the last one is ready).
+  CountdownLatch loads(env, static_cast<int>(drives.size()));
+  for (size_t k = 0; k < drives.size(); ++k) {
+    env->Spawn(LoadOne(drives[k], primaries[k], &loads));
+  }
+  co_await loads.Wait();
+
+  const std::string snap =
+      "nightly." + spec.name + ".a" + std::to_string(attempt);
+  CountdownLatch job_done(env, 1);
+  switch (spec.mode) {
+    case BackupMode::kLogicalFull:
+    case BackupMode::kLogicalIncremental: {
+      LogicalDumpOptions options;
+      options.level = spec.level;
+      options.base_time =
+          spec.mode == BackupMode::kLogicalIncremental ? spec.base_time : 0;
+      options.volume_name = spec.name;
+      options.snapshot_name = snap;
+      std::vector<std::string> subtrees = spec.subtrees;
+      if (subtrees.empty()) {
+        subtrees.push_back("/");
+      }
+      assert(subtrees.size() == drives.size());
+      ParallelLogicalBackupResult result;
+      env->Spawn(ParallelLogicalBackupJob(filer_, spec.fs, drives, subtrees,
+                                          options, &result, &job_done,
+                                          config_.supervision, spares));
+      co_await job_done.Wait();
+      c.merged = result.merged;
+      for (const auto& p : result.parts) {
+        c.part_status.push_back(p->report.status);
+        c.part_media.push_back(p->report.final_media);
+      }
+      break;
+    }
+    case BackupMode::kImage: {
+      ImageDumpOptions options;
+      options.snapshot_name = snap;
+      ParallelImageBackupResult result;
+      env->Spawn(ParallelImageBackupJob(filer_, spec.fs, drives, options,
+                                        /*delete_snapshot_after=*/true,
+                                        &result, &job_done,
+                                        config_.supervision, spares));
+      co_await job_done.Wait();
+      c.merged = result.merged;
+      for (const auto& p : result.parts) {
+        c.part_status.push_back(p->report.status);
+        c.part_media.push_back(p->report.final_media);
+      }
+      break;
+    }
+    case BackupMode::kRemoteImage: {
+      ImageDumpOptions options;
+      options.snapshot_name = snap;
+      ParallelRemoteImageBackupResult result;
+      env->Spawn(ParallelRemoteImageBackupJob(
+          filer_, spec.fs, config_.link, config_.server, drives, options,
+          /*delete_snapshot_after=*/true, config_.supervision, &result,
+          &job_done));
+      co_await job_done.Wait();
+      c.merged = result.merged;
+      for (const auto& p : result.parts) {
+        c.part_status.push_back(p->report.status);
+        c.part_media.push_back(p->report.final_media);
+      }
+      break;
+    }
+  }
+
+  c.ok = c.merged.status.ok();
+  for (const Status& st : c.part_status) {
+    c.ok = c.ok && st.ok();
+  }
+  co_await completions->Send(std::move(c));
+}
+
+Task NightlyScheduler::Run(NightReport* report, CountdownLatch* done) {
+  SimEnvironment* env = filer_->env();
+  const size_t nvol = volumes_.size();
+  const size_t ndrv = config_.drives.size();
+
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  const MetricLabels labels = {{"fleet", config_.library->name()}};
+  Counter* m_dispatches = reg.GetCounter("sched.dispatches", labels);
+  Counter* m_backfills = reg.GetCounter("sched.backfills", labels);
+  Counter* m_reassigns = reg.GetCounter("sched.reassignments", labels);
+  Counter* m_hits = reg.GetCounter("sched.deadline_hits", labels);
+  Counter* m_misses = reg.GetCounter("sched.deadline_misses", labels);
+  Counter* m_drive_failures = reg.GetCounter("sched.drive_failures", labels);
+  Counter* m_budget_waits = reg.GetCounter("sched.link_budget_waits", labels);
+
+  report->night_start = env->now();
+  report->volumes.resize(nvol);
+  report->drives.resize(ndrv);
+  std::vector<int64_t> busy0(ndrv);
+  for (size_t d = 0; d < ndrv; ++d) {
+    report->drives[d].name = config_.drives[d]->name();
+    busy0[d] = config_.drives[d]->unit().BusyIntegral();
+  }
+  for (size_t v = 0; v < nvol; ++v) {
+    VolumeOutcome& out = report->volumes[v];
+    out.name = volumes_[v].name;
+    out.mode = volumes_[v].mode;
+    out.enqueued = report->night_start;
+  }
+
+  struct VState {
+    int attempts = 0;
+    bool dispatched_once = false;
+    bool budget_wait_counted = false;
+  };
+  std::vector<VState> vs(nvol);
+  std::vector<bool> busy(ndrv, false);
+  std::vector<bool> healthy(ndrv, true);
+  std::vector<std::vector<size_t>> open_grants(nvol);
+
+  std::vector<size_t> pending(nvol);
+  std::iota(pending.begin(), pending.end(), size_t{0});
+  std::sort(pending.begin(), pending.end(),
+            [this](size_t a, size_t b) { return QueueBefore(a, b); });
+
+  Channel<Completion> completions(env, nvol + 8);
+  size_t running = 0;
+  size_t wakers = 0;
+
+  // Deadline-fallback boundaries are the one dispatch trigger that is not a
+  // completion: an affinity-waiter becomes willing to take any drive when
+  // its latest feasible start passes. Arm one rescan tick per such volume.
+  for (size_t v = 0; v < nvol; ++v) {
+    const VolumeSpec& spec = volumes_[v];
+    if (spec.affinity_drive >= 0 && spec.deadline != kNoDeadline) {
+      const SimTime lfs = LatestFeasibleStart(spec);
+      if (lfs > env->now()) {
+        env->Spawn(Waker(lfs - env->now(), &completions));
+        ++wakers;
+      }
+    }
+  }
+
+  auto healthy_count = [&]() {
+    return static_cast<size_t>(
+        std::count(healthy.begin(), healthy.end(), true));
+  };
+
+  // Finishes `v` without a successful job: terminal failure bookkeeping.
+  auto fail_volume = [&](size_t v, Status st) {
+    VolumeOutcome& out = report->volumes[v];
+    out.status = std::move(st);
+    out.finished = env->now();
+    out.deadline_met = false;
+    ++report->deadline_misses;
+    m_misses->Increment();
+    if (report->status.ok()) {
+      report->status = out.status;
+    }
+  };
+
+  // One pass over the queue, dispatching everything that may start now.
+  auto try_dispatch = [&]() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      std::vector<int> idle;
+      for (size_t d = 0; d < ndrv; ++d) {
+        if (!busy[d] && healthy[d]) {
+          idle.push_back(static_cast<int>(d));
+        }
+      }
+      if (idle.empty()) {
+        break;
+      }
+      std::vector<size_t> parked;
+      for (auto it = pending.begin(); it != pending.end(); ++it) {
+        if (!parked.empty() && !config_.backfill) {
+          break;
+        }
+        const size_t v = *it;
+        const VolumeSpec& spec = volumes_[v];
+        const uint32_t min_d = MinDrivesFor(spec);
+        const uint32_t max_d = MaxDrivesFor(spec);
+
+        std::vector<int> take;
+        int aff = spec.affinity_drive;
+        if (aff >= 0 &&
+            (static_cast<size_t>(aff) >= ndrv || !healthy[aff])) {
+          aff = -1;  // a dead affinity drive releases the volume to the pool
+        }
+        if (aff >= 0) {
+          if (!busy[aff]) {
+            take.push_back(aff);
+            for (int d : idle) {
+              if (d != aff && take.size() < max_d) {
+                take.push_back(d);
+              }
+            }
+          } else if (env->now() >= LatestFeasibleStart(spec)) {
+            for (int d : idle) {
+              if (take.size() < max_d) {
+                take.push_back(d);
+              }
+            }
+          } else {
+            parked.push_back(v);
+            continue;
+          }
+        } else {
+          for (int d : idle) {
+            if (take.size() < max_d) {
+              take.push_back(d);
+            }
+          }
+        }
+        if (take.size() < min_d) {
+          parked.push_back(v);
+          continue;
+        }
+
+        const bool remote = IsRemote(spec.mode);
+        bool reserved = false;
+        if (remote && config_.budget != nullptr) {
+          if (!config_.budget->TryReserve(spec.estimated_bytes)) {
+            if (!vs[v].budget_wait_counted) {
+              vs[v].budget_wait_counted = true;
+              ++report->link_budget_waits;
+              m_budget_waits->Increment();
+            }
+            if (config_.budget->reserved() == 0) {
+              // Nothing in flight to settle and consumed only grows: this
+              // volume can never fit tonight's allowance.
+              fail_volume(v, Exhausted("link budget exhausted for volume '" +
+                                       spec.name + "'"));
+              pending.erase(it);
+              progress = true;
+              break;
+            }
+            parked.push_back(v);
+            continue;
+          }
+          reserved = true;
+        }
+
+        const bool backfill = !parked.empty();
+        if (backfill) {
+          const SimTime est_finish =
+              env->now() +
+              EstimatedDuration(spec, static_cast<uint32_t>(take.size()));
+          bool safe = true;
+          for (size_t u : parked) {
+            if (est_finish > LatestFeasibleStart(volumes_[u])) {
+              safe = false;
+              break;
+            }
+          }
+          if (!safe) {
+            if (reserved) {
+              config_.budget->Cancel(spec.estimated_bytes);
+            }
+            parked.push_back(v);
+            continue;
+          }
+        }
+
+        // Dispatch.
+        pending.erase(it);
+        ++vs[v].attempts;
+        VolumeOutcome& out = report->volumes[v];
+        out.attempts = vs[v].attempts;
+        out.started = env->now();
+        if (!vs[v].dispatched_once) {
+          vs[v].dispatched_once = true;
+          out.wait = env->now() - out.enqueued;
+        }
+        out.backfilled = backfill;
+        m_dispatches->Increment();
+        if (backfill) {
+          ++report->backfills;
+          m_backfills->Increment();
+        }
+
+        std::vector<Tape*> primaries;
+        std::vector<std::vector<Tape*>> spares;
+        for (size_t k = 0; k < take.size(); ++k) {
+          const std::string base = spec.name + ".a" +
+                                   std::to_string(vs[v].attempts) + ".p" +
+                                   std::to_string(k);
+          primaries.push_back(
+              config_.library->TapeInSlot(config_.library->AddBlankTape(base)));
+          std::vector<Tape*> sp;
+          if (!remote) {
+            for (uint32_t j = 0; j < config_.spare_media_per_job; ++j) {
+              sp.push_back(config_.library->TapeInSlot(
+                  config_.library->AddBlankTape(base + ".s" +
+                                                std::to_string(j))));
+            }
+          }
+          spares.push_back(std::move(sp));
+        }
+        for (int d : take) {
+          busy[d] = true;
+          ++report->drives[d].jobs;
+          open_grants[v].push_back(report->grants.size());
+          report->grants.push_back(DriveGrant{v, vs[v].attempts, d,
+                                              env->now(), 0, backfill});
+        }
+        env->Spawn(RunOne(v, vs[v].attempts, take, std::move(primaries),
+                          std::move(spares),
+                          reserved ? spec.estimated_bytes : 0, &completions));
+        ++running;
+        progress = true;
+        break;
+      }
+    }
+  };
+
+  try_dispatch();
+  while (running > 0) {
+    std::optional<Completion> recvd = co_await completions.Recv();
+    assert(recvd.has_value());
+    Completion c = std::move(*recvd);
+    if (c.timer) {
+      --wakers;
+      try_dispatch();
+      continue;
+    }
+    --running;
+    const size_t v = c.vol;
+    const VolumeSpec& spec = volumes_[v];
+    VolumeOutcome& out = report->volumes[v];
+
+    for (int d : c.drive_idx) {
+      busy[d] = false;
+    }
+    for (size_t g : open_grants[v]) {
+      report->grants[g].end = env->now();
+    }
+    open_grants[v].clear();
+
+    if (c.link_reservation > 0 && config_.budget != nullptr) {
+      config_.budget->Commit(c.link_reservation, c.merged.stream_bytes);
+    }
+
+    // A part that died of an I/O error despite supervision condemns its
+    // drive: pull it from the pool for the rest of the night.
+    for (size_t k = 0; k < c.part_status.size(); ++k) {
+      const Status& st = c.part_status[k];
+      if (!st.ok() && st.code() == ErrorCode::kIoError) {
+        const int d = c.drive_idx[k];
+        if (healthy[d]) {
+          healthy[d] = false;
+          report->drives[d].failed = true;
+          ++report->drives_failed;
+          m_drive_failures->Increment();
+        }
+      }
+    }
+
+    if (c.ok) {
+      out.status = Status::Ok();
+      out.finished = env->now();
+      out.drives_used = c.drive_idx;
+      out.part_media = c.part_media;
+      out.report = c.merged;
+      out.deadline_met = env->now() <= spec.deadline;
+      if (out.deadline_met) {
+        ++report->deadline_hits;
+        m_hits->Increment();
+      } else {
+        ++report->deadline_misses;
+        m_misses->Increment();
+      }
+    } else {
+      Status failure = c.merged.status;
+      for (const Status& st : c.part_status) {
+        if (!st.ok()) {
+          failure = st;
+          break;
+        }
+      }
+      const bool can_retry = vs[v].attempts < config_.max_attempts_per_volume &&
+                             healthy_count() >= MinDrivesFor(spec);
+      if (can_retry) {
+        ++report->reassignments;
+        m_reassigns->Increment();
+        pending.insert(
+            std::lower_bound(pending.begin(), pending.end(), v,
+                             [this](size_t a, size_t b) {
+                               return QueueBefore(a, b);
+                             }),
+            v);
+      } else {
+        out.drives_used = c.drive_idx;
+        out.part_media = c.part_media;
+        out.report = c.merged;
+        fail_volume(v, std::move(failure));
+      }
+    }
+    try_dispatch();
+  }
+
+  // Anything still pending can never start: every reason a volume parks with
+  // no job running (too few healthy drives, a drained link budget) only gets
+  // worse with time.
+  for (size_t v : pending) {
+    fail_volume(v, IoError("no healthy drives left for volume '" +
+                           volumes_[v].name + "'"));
+  }
+  pending.clear();
+
+  report->night_end = env->now();
+  const SimDuration span = report->makespan();
+  for (size_t d = 0; d < ndrv; ++d) {
+    DriveNightStats& stats = report->drives[d];
+    stats.busy = config_.drives[d]->unit().BusyIntegral() - busy0[d];
+    stats.utilization =
+        span > 0 ? static_cast<double>(stats.busy) /
+                       static_cast<double>(
+                           config_.drives[d]->unit().capacity() * span)
+                 : 0.0;
+  }
+
+  // Drain outstanding deadline ticks so their channel pointer stays valid.
+  while (wakers > 0) {
+    std::optional<Completion> tick = co_await completions.Recv();
+    assert(tick.has_value() && tick->timer);
+    --wakers;
+  }
+  done->CountDown();
+}
+
+// ------------------------------------------------------------- reporting ---
+
+std::string NightReport::SerializeExecution() const {
+  std::string out = "nightexec v1\n";
+  for (const DriveGrant& g : grants) {
+    AppendLine(&out,
+               "grant %s attempt=%d drive=%d start=%lld end=%lld "
+               "backfill=%d\n",
+               volumes[g.volume].name.c_str(), g.attempt, g.drive,
+               static_cast<long long>(g.start),
+               static_cast<long long>(g.end), g.backfill ? 1 : 0);
+  }
+  for (const VolumeOutcome& v : volumes) {
+    AppendLine(&out,
+               "outcome %s status=%s attempts=%d started=%lld "
+               "finished=%lld deadline=%s bytes=%llu\n",
+               v.name.c_str(),
+               v.status.ok() ? "OK" : ErrorCodeName(v.status.code()),
+               v.attempts, static_cast<long long>(v.started),
+               static_cast<long long>(v.finished),
+               v.deadline_met ? "hit" : "miss",
+               static_cast<unsigned long long>(v.report.stream_bytes));
+  }
+  AppendLine(&out,
+             "counters hits=%llu misses=%llu backfills=%llu "
+             "reassignments=%llu drives_failed=%llu budget_waits=%llu\n",
+             static_cast<unsigned long long>(deadline_hits),
+             static_cast<unsigned long long>(deadline_misses),
+             static_cast<unsigned long long>(backfills),
+             static_cast<unsigned long long>(reassignments),
+             static_cast<unsigned long long>(drives_failed),
+             static_cast<unsigned long long>(link_budget_waits));
+  return out;
+}
+
+void NightReport::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("night").BeginObject();
+  w->Field("start_s", SimToSeconds(night_start));
+  w->Field("end_s", SimToSeconds(night_end));
+  w->Field("makespan_s", SimToSeconds(makespan()));
+  w->Field("status", status.ok() ? "OK" : ErrorCodeName(status.code()));
+  w->EndObject();
+
+  w->Key("counters").BeginObject();
+  w->Field("deadline_hits", deadline_hits);
+  w->Field("deadline_misses", deadline_misses);
+  w->Field("backfills", backfills);
+  w->Field("reassignments", reassignments);
+  w->Field("drives_failed", drives_failed);
+  w->Field("link_budget_waits", link_budget_waits);
+  w->EndObject();
+
+  w->Key("volumes").BeginArray();
+  for (const VolumeOutcome& v : volumes) {
+    w->BeginObject();
+    w->Field("name", v.name);
+    w->Field("mode", BackupModeName(v.mode));
+    w->Field("status", v.status.ok() ? "OK" : ErrorCodeName(v.status.code()));
+    w->Field("attempts", static_cast<int64_t>(v.attempts));
+    w->Field("backfilled", v.backfilled);
+    w->Field("deadline_met", v.deadline_met);
+    w->Field("wait_s", SimToSeconds(v.wait));
+    w->Field("started_s", SimToSeconds(v.started));
+    w->Field("finished_s", SimToSeconds(v.finished));
+    w->Key("drives").BeginArray();
+    for (int d : v.drives_used) {
+      w->Int(d);
+    }
+    w->EndArray();
+    w->Key("media").BeginArray();
+    for (const auto& part : v.part_media) {
+      for (const std::string& label : part) {
+        w->String(label);
+      }
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndArray();
+
+  w->Key("drives").BeginArray();
+  for (const DriveNightStats& d : drives) {
+    w->BeginObject();
+    w->Field("name", d.name);
+    w->Field("jobs", static_cast<int64_t>(d.jobs));
+    w->Field("failed", d.failed);
+    w->Field("busy_s", SimToSeconds(d.busy));
+    w->Field("utilization", d.utilization);
+    w->EndObject();
+  }
+  w->EndArray();
+
+  w->Key("grants").BeginArray();
+  for (const DriveGrant& g : grants) {
+    w->BeginObject();
+    w->Field("volume", volumes[g.volume].name);
+    w->Field("attempt", static_cast<int64_t>(g.attempt));
+    w->Field("drive", static_cast<int64_t>(g.drive));
+    w->Field("start_s", SimToSeconds(g.start));
+    w->Field("end_s", SimToSeconds(g.end));
+    w->Field("backfill", g.backfill);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace bkup

@@ -1,5 +1,7 @@
 #include "src/net/link.h"
 
+#include <algorithm>
+
 #include "src/obs/trace.h"
 
 namespace bkup {
@@ -17,6 +19,36 @@ NetLink::NetLink(SimEnvironment* env, std::string name, LinkParams params)
   metric_drops_ = reg.GetCounter("net.frames_dropped", labels);
   metric_rejects_ = reg.GetCounter("net.checksum_rejections", labels);
   metric_stalls_ = reg.GetCounter("net.stalls", labels);
+}
+
+LinkBudget::LinkBudget(NetLink* link, uint64_t nightly_bytes)
+    : link_(link), nightly_bytes_(nightly_bytes) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  const MetricLabels labels = {{"link", link->name()}};
+  metric_reservations_ = reg.GetCounter("net.budget.reservations", labels);
+  metric_rejections_ = reg.GetCounter("net.budget.rejections", labels);
+  metric_consumed_ = reg.GetCounter("net.budget.consumed_bytes", labels);
+}
+
+bool LinkBudget::TryReserve(uint64_t estimated_bytes) {
+  if (!unlimited() &&
+      consumed_ + reserved_ + estimated_bytes > nightly_bytes_) {
+    metric_rejections_->Increment();
+    return false;
+  }
+  reserved_ += estimated_bytes;
+  metric_reservations_->Increment();
+  return true;
+}
+
+void LinkBudget::Commit(uint64_t estimated_bytes, uint64_t actual_bytes) {
+  reserved_ -= std::min(reserved_, estimated_bytes);
+  consumed_ += actual_bytes;
+  metric_consumed_->Increment(actual_bytes);
+}
+
+void LinkBudget::Cancel(uint64_t estimated_bytes) {
+  reserved_ -= std::min(reserved_, estimated_bytes);
 }
 
 SimDuration NetLink::SerializeTime(uint64_t nbytes) const {

@@ -23,6 +23,8 @@
 
 namespace bkup {
 
+class NetLink;
+
 struct LinkParams {
   // Effective payload rate. 125 MB/s is a clean 1 GbE-class link; the
   // paper-era alternative (100 Mb/s Ethernet) is 12.5.
@@ -41,6 +43,45 @@ struct LinkParams {
   // Per-frame retransmit budget; beyond it the stream errors out and
   // recovery moves up to the supervisor (reconnect + resume from ack).
   int max_retransmits = 6;
+};
+
+// Nightly byte budget for a shared link: the accounting hook the fleet
+// scheduler reserves against before dispatching a remote job. The budget is
+// planning-level bookkeeping, not a rate limiter — the wire still serializes
+// frames itself; this only answers "may another whole stream be committed to
+// tonight's link allowance?". Reservations use the scheduler's size estimate
+// and are settled to the actual payload when the job finishes, so the
+// consumed total tracks reality while in-flight jobs hold their estimate.
+class LinkBudget {
+ public:
+  // `nightly_bytes` = 0 means unlimited (every reservation succeeds).
+  LinkBudget(NetLink* link, uint64_t nightly_bytes);
+
+  NetLink* link() const { return link_; }
+  uint64_t nightly_bytes() const { return nightly_bytes_; }
+  uint64_t reserved() const { return reserved_; }   // in-flight estimates
+  uint64_t consumed() const { return consumed_; }   // settled actuals
+  bool unlimited() const { return nightly_bytes_ == 0; }
+
+  // True (and the estimate is held) when consumed + reserved + estimate
+  // still fits the nightly allowance.
+  bool TryReserve(uint64_t estimated_bytes);
+
+  // Settles a reservation made with `estimated_bytes`: the hold is released
+  // and `actual_bytes` is added to the consumed total.
+  void Commit(uint64_t estimated_bytes, uint64_t actual_bytes);
+
+  // Drops a reservation without consuming anything (job never streamed).
+  void Cancel(uint64_t estimated_bytes);
+
+ private:
+  NetLink* link_;
+  uint64_t nightly_bytes_;
+  uint64_t reserved_ = 0;
+  uint64_t consumed_ = 0;
+  Counter* metric_reservations_;
+  Counter* metric_rejections_;
+  Counter* metric_consumed_;
 };
 
 class NetLink {
