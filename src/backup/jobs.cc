@@ -209,6 +209,70 @@ Task TapeReaderProc(ReplayConfig cfg, uint64_t total_bytes,
   channel->Close();
 }
 
+// Producer half of a ranged restore: seeks to each range and reads it,
+// publishing the absolute stream offset reached so far. Watermarks stay
+// monotone because ranges ascend; bytes inside the gaps are never touched —
+// the tape moves O(needed), not O(stream). Read errors run the same retry
+// ladder as the sequential reader.
+Task RangedTapeReaderProc(ReplayConfig cfg, std::vector<StreamRange> ranges,
+                          Channel<uint64_t>* channel, JobReport* report) {
+  SimEnvironment* env = cfg.filer->env();
+  std::vector<uint8_t> scratch(cfg.chunk_bytes);
+  if (cfg.tape->loaded()) {
+    const std::string& label = cfg.tape->tape()->label();
+    if (report->tapes_used.empty() || report->tapes_used.back() != label) {
+      report->tapes_used.push_back(label);
+    }
+  }
+  for (const StreamRange& r : ranges) {
+    Status st;
+    co_await cfg.tape->TimedSeekTo(r.begin, &st);
+    if (!st.ok()) {
+      if (report->status.ok()) {
+        report->status = st;
+      }
+      break;
+    }
+    uint64_t pos = r.begin;
+    while (pos < r.end) {
+      const uint64_t on_tape =
+          cfg.tape->loaded()
+              ? cfg.tape->tape()->size() - cfg.tape->position()
+              : 0;
+      if (on_tape == 0) {
+        if (report->status.ok()) {
+          report->status = Corruption("tape ended inside a restore range");
+        }
+        break;
+      }
+      const uint64_t n =
+          std::min<uint64_t>({cfg.chunk_bytes, r.end - pos, on_tape});
+      co_await cfg.tape->TimedRead(std::span(scratch).first(n), &st);
+      if (!st.ok() && cfg.supervision != nullptr) {
+        const RetryPolicy& retry = cfg.supervision->tape_retry;
+        int attempt = 1;
+        while (!st.ok() && attempt < retry.max_attempts) {
+          ++report->faults.tape_errors;
+          ++report->faults.tape_retries;
+          TRACE_INSTANT(env, "faults", "tape.retry");
+          co_await env->Delay(retry.BackoffBefore(attempt));
+          ++attempt;
+          co_await cfg.tape->TimedRead(std::span(scratch).first(n), &st);
+        }
+        if (!st.ok()) {
+          ++report->faults.tape_errors;
+        }
+      }
+      if (!st.ok() && report->status.ok()) {
+        report->status = st;
+      }
+      pos += n;
+      co_await channel->Send(pos);
+    }
+  }
+  channel->Close();
+}
+
 // Charges one event's disk reads, then signals its ready-event and frees a
 // slot in the read-ahead window.
 Task DiskFetch(ReplayConfig cfg, const IoEvent* event, JobReport* report,
@@ -394,6 +458,27 @@ Task ReplayFromTape(ReplayConfig cfg, const IoTrace* trace,
   done->CountDown();
 }
 
+Task ReplayFromTapeRanges(ReplayConfig cfg, const IoTrace* trace,
+                          std::vector<StreamRange> ranges,
+                          uint64_t stream_bytes, JobReport* report,
+                          CountdownLatch* done) {
+  SimEnvironment* env = cfg.filer->env();
+  uint64_t moved = 0;
+  for (const StreamRange& r : ranges) {
+    moved += r.size();
+  }
+  Channel<uint64_t> channel(env, cfg.pipeline_depth);
+  env->Spawn(RangedTapeReaderProc(cfg, std::move(ranges), &channel, report));
+
+  PhaseSpanner spans(env, report->name);
+  co_await ReplayConsumer(cfg, trace, stream_bytes, &channel, &spans, report);
+  spans.Close();
+  // Account only the bytes the tape actually moved, not the skipped gaps —
+  // the number the bounded-replay guarantee is stated in.
+  report->stream_bytes += moved;
+  done->CountDown();
+}
+
 Task SnapshotPhase(Filer* filer, JobReport* report, JobPhase phase,
                    SimDuration duration) {
   SimEnvironment* env = filer->env();
@@ -547,6 +632,110 @@ Task LogicalRestoreJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
   report.end_time = env->now();
   report.cpu_busy_end = filer->cpu().BusyIntegral();
   report.data_bytes = result->restore.stats.bytes_restored;
+  done->CountDown();
+}
+
+Task ResumableLogicalRestoreJob(Filer* filer, std::unique_ptr<Filesystem>* fs,
+                                Volume* volume, TapeDrive* tape,
+                                LogicalRestoreOptions options,
+                                bool bypass_nvram,
+                                const SupervisionPolicy* supervision,
+                                ResumableRestoreConfig resume,
+                                ResumableRestoreJobResult* result,
+                                CountdownLatch* done) {
+  SimEnvironment* env = filer->env();
+  JobReport& report = result->report;
+  report.name = "Resumable logical restore";
+  report.start_time = env->now();
+  report.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  if (!tape->loaded()) {
+    report.status = FailedPrecondition("no tape loaded for restore");
+    done->CountDown();
+    co_return;
+  }
+  if (resume.catalog == nullptr) {
+    report.status = InvalidArgument("resumable restore needs a catalog");
+    done->CountDown();
+    co_return;
+  }
+  // Single-media only: the ranged reads address the mounted tape directly.
+  const std::span<const uint8_t> stream = tape->tape()->contents();
+
+  options.catalog = resume.catalog;
+  options.kill = resume.kill;
+  options.checkpoint_every = resume.checkpoint_every;
+
+  static const SupervisionPolicy kDefaultPolicy;
+  const RetryPolicy& restart = (supervision != nullptr ? *supervision
+                                                       : kDefaultPolicy)
+                                   .restart_retry;
+  int attempt = 0;
+  while (true) {
+    ++result->attempts;
+    options.resume = attempt > 0;
+    (*fs)->MarkCpCounters();
+    Result<LogicalRestoreOutput> restored =
+        RunLogicalRestore(fs->get(), stream, options);
+    if (!restored.ok()) {
+      report.status = restored.status();
+      break;
+    }
+    report.resume.bytes_skipped += restored->stats.bytes_skipped;
+    report.resume.entries_skipped += restored->stats.entries_skipped;
+    report.resume.checkpoints += restored->stats.checkpoints;
+    if (attempt > 0) {
+      report.resume.bytes_replayed += restored->stats.bytes_replayed;
+    }
+    report.data_bytes += restored->stats.bytes_restored;
+
+    const uint64_t data_writes = (*fs)->cp_data_writes_since_mark();
+    const uint64_t meta_writes = (*fs)->cp_meta_writes_since_mark();
+    ReplayConfig cfg;
+    cfg.filer = filer;
+    cfg.volume = volume;
+    cfg.tape = tape;
+    cfg.supervision = supervision;
+    cfg.charge_nvram = !bypass_nvram;
+    cfg.write_meta_multiplier =
+        data_writes > 0 ? static_cast<double>(meta_writes) /
+                              static_cast<double>(data_writes)
+                        : 0.5;
+    CountdownLatch replay_done(env, 1);
+    env->Spawn(ReplayFromTapeRanges(cfg, &restored->trace,
+                                    restored->consumed_ranges, stream.size(),
+                                    &report, &replay_done));
+    co_await replay_done.Wait();
+
+    const bool interrupted = restored->interrupted;
+    result->restore = std::move(*restored);
+    if (!interrupted) {
+      break;  // this incarnation finished the restore
+    }
+    // The process died mid-stream: reboot, remount the last consistency
+    // point, back off on the restart schedule, and resume from the catalog.
+    report.resume.resumes++;
+    TRACE_INSTANT(env, "faults", "restore.kill");
+    ++attempt;
+    if (attempt >= restart.max_attempts) {
+      report.status = Exhausted("restore restart budget exhausted");
+      break;
+    }
+    co_await env->Delay(restart.BackoffBefore(attempt));
+    if (resume.remount_between_attempts) {
+      fs->reset();
+      Result<std::unique_ptr<Filesystem>> mounted =
+          Filesystem::Mount(volume, env);
+      if (!mounted.ok()) {
+        report.status = mounted.status();
+        break;
+      }
+      *fs = std::move(*mounted);
+    }
+  }
+
+  report.end_time = env->now();
+  report.cpu_busy_end = filer->cpu().BusyIntegral();
   done->CountDown();
 }
 

@@ -15,6 +15,7 @@
 #ifndef BKUP_BACKUP_JOBS_H_
 #define BKUP_BACKUP_JOBS_H_
 
+#include <memory>
 #include <span>
 #include <string>
 
@@ -136,6 +137,17 @@ Task ReplayFromTape(ReplayConfig cfg, const IoTrace* trace,
                     uint64_t stream_bytes, JobReport* report,
                     CountdownLatch* done);
 
+// Ranged variant for catalog-driven restores: moves only `ranges` off the
+// tape (seek/read ladders, ascending), publishing absolute stream offsets as
+// watermarks, so resumed and single-file restores pay O(needed bytes) of
+// tape time instead of O(stream). The trace's events must all fall inside
+// the ranges (the engine's consumed_ranges guarantee). Single-media only:
+// ranges address the mounted tape, not a spanned set.
+Task ReplayFromTapeRanges(ReplayConfig cfg, const IoTrace* trace,
+                          std::vector<StreamRange> ranges,
+                          uint64_t stream_bytes, JobReport* report,
+                          CountdownLatch* done);
+
 // ------------------------------------------------------- complete jobs ---
 
 struct LogicalBackupJobResult {
@@ -164,6 +176,42 @@ Task LogicalRestoreJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                        LogicalRestoreJobResult* result, CountdownLatch* done,
                        std::vector<Tape*> spare_tapes = {},
                        const SupervisionPolicy* supervision = nullptr);
+
+// Crash-resumable restore: how the supervised job recovers a killed restore
+// process.
+struct ResumableRestoreConfig {
+  // The dump's offset index — the recovery authority. Required.
+  const TapeCatalog* catalog = nullptr;
+  // Crash injection (normally a CrashInjector from src/faults); null means
+  // the first attempt simply completes.
+  RestoreKillHook* kill = nullptr;
+  // Mid-run consistency-point cadence passed to the engine.
+  uint32_t checkpoint_every = 32;
+  // Model the full reboot: drop the in-memory file system between attempts
+  // and remount the volume's last consistency point.
+  bool remount_between_attempts = true;
+};
+
+struct ResumableRestoreJobResult {
+  LogicalRestoreOutput restore;  // the last attempt (the one that finished)
+  JobReport report;
+  uint32_t attempts = 0;  // process incarnations run
+};
+
+// Runs a logical restore that survives process kills: each attempt resumes
+// from the catalog diff of the partially-restored tree, replaying only the
+// missing suffix through a ranged tape replay. Between attempts the file
+// system is remounted (crash-reboot) and the supervisor's restart_retry
+// schedule paces the restarts. `fs` is taken by pointer-to-owner because a
+// remount replaces the Filesystem object.
+Task ResumableLogicalRestoreJob(Filer* filer, std::unique_ptr<Filesystem>* fs,
+                                Volume* volume, TapeDrive* tape,
+                                LogicalRestoreOptions options,
+                                bool bypass_nvram,
+                                const SupervisionPolicy* supervision,
+                                ResumableRestoreConfig resume,
+                                ResumableRestoreJobResult* result,
+                                CountdownLatch* done);
 
 struct ImageBackupJobResult {
   ImageDumpOutput dump;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace bkup {
@@ -293,6 +294,89 @@ Task RemoteTapeReaderProc(Filer* filer, RemoteTarget target,
   reader_done->Notify();
 }
 
+// Wraps TapeServer::ReadRange so the progress channel closes and the
+// completion event fires when the range (or its error) is done.
+Task ReadRangeAndClose(TapeServer* server, TapeDrive* drive, uint64_t offset,
+                       uint64_t length, uint64_t chunk_bytes,
+                       Channel<uint64_t>* progress, Status* status,
+                       SimEvent* done) {
+  co_await server->ReadRange(drive, offset, length, chunk_bytes, progress,
+                             status);
+  progress->Close();
+  done->Notify();
+}
+
+// Server-side ranged reader: reads only `ranges` off the media through
+// TapeServer::ReadRange and ships each piece to the filer at its absolute
+// stream offset, so watermarks stay monotone across the gaps the tape never
+// touches. Read errors retry the remainder of the range on the tape backoff
+// schedule (ranged reads are idempotent).
+Task RangedRemoteTapeReaderProc(Filer* filer, RemoteTarget target,
+                                std::vector<StreamRange> ranges,
+                                uint64_t chunk_bytes, StreamSession* session,
+                                JobReport* report, SimEvent* reader_done) {
+  SimEnvironment* env = filer->env();
+  TapeDrive* tape = target.drive;
+  if (tape->loaded()) {
+    report->tapes_used.push_back(tape->tape()->label());
+  }
+  bool failed = false;
+  for (const StreamRange& r : ranges) {
+    uint64_t floor = r.begin;  // delivered-to-filer cursor within the range
+    int attempt = 0;
+    while (floor < r.end && !failed) {
+      Channel<uint64_t> progress(env, 4);
+      Status read_st;
+      SimEvent range_done(env);
+      env->Spawn(ReadRangeAndClose(target.server, tape, floor, r.end - floor,
+                                   chunk_bytes, &progress, &read_st,
+                                   &range_done));
+      while (true) {
+        std::optional<uint64_t> watermark = co_await progress.Recv();
+        if (!watermark.has_value()) {
+          break;
+        }
+        Status sent;
+        co_await session->Send(floor, *watermark, 0, &sent);
+        floor = *watermark;
+        if (!sent.ok()) {
+          failed = true;
+          if (report->status.ok()) {
+            report->status = sent;
+          }
+        }
+      }
+      co_await range_done.Wait();
+      if (read_st.ok() || failed) {
+        break;
+      }
+      ++report->faults.tape_errors;
+      if (target.supervision == nullptr ||
+          attempt + 1 >= target.supervision->tape_retry.max_attempts) {
+        if (report->status.ok()) {
+          report->status = read_st;
+        }
+        failed = true;
+        break;
+      }
+      ++report->faults.tape_retries;
+      TRACE_INSTANT(env, "faults", "tape.retry");
+      ++attempt;
+      co_await env->Delay(
+          target.supervision->tape_retry.BackoffBefore(attempt));
+    }
+    if (failed) {
+      break;
+    }
+  }
+  Status st;
+  co_await session->Finish(&st);
+  if (!st.ok() && report->status.ok()) {
+    report->status = st;
+  }
+  reader_done->Notify();
+}
+
 // Filer-side receive adapter for restores: turns the in-order frames of the
 // session's connections into the monotone arrived-bytes watermark
 // ReplayConsumer expects.
@@ -371,6 +455,37 @@ Task ReplayFromNet(ReplayConfig cfg, RemoteTarget target, const IoTrace* trace,
   co_await reader_done.Wait();
   spans.Close();
   report->stream_bytes += stream.size();
+  done->CountDown();
+}
+
+// Ranged restore-side replay over a link: only `ranges` leave the server.
+Task ReplayFromNetRanges(ReplayConfig cfg, RemoteTarget target,
+                         const IoTrace* trace,
+                         std::span<const uint8_t> stream,
+                         std::vector<StreamRange> ranges, JobReport* report,
+                         CountdownLatch* done) {
+  SimEnvironment* env = cfg.filer->env();
+  uint64_t moved = 0;
+  for (const StreamRange& r : ranges) {
+    moved += r.size();
+  }
+  StreamSession session(env, target.link, report->name, stream,
+                        target.supervision, report);
+  co_await session.Start();
+
+  SimEvent reader_done(env);
+  env->Spawn(RangedRemoteTapeReaderProc(cfg.filer, target, std::move(ranges),
+                                        cfg.chunk_bytes, &session, report,
+                                        &reader_done));
+  Channel<uint64_t> watermarks(env, cfg.pipeline_depth);
+  env->Spawn(WatermarkAdapter(&session.conns(), &watermarks));
+
+  PhaseSpanner spans(env, report->name);
+  co_await ReplayConsumer(cfg, trace, stream.size(), &watermarks, &spans,
+                          report);
+  co_await reader_done.Wait();
+  spans.Close();
+  report->stream_bytes += moved;
   done->CountDown();
 }
 
@@ -530,6 +645,109 @@ Task RemoteLogicalRestoreJob(Filer* filer, Filesystem* fs, RemoteTarget target,
   env->Spawn(ReplayFromNet(cfg, target, &result->restore.trace, stream,
                            &report, &replay_done));
   co_await replay_done.Wait();
+
+  report.end_time = env->now();
+  report.cpu_busy_end = filer->cpu().BusyIntegral();
+  report.data_bytes = result->restore.stats.bytes_restored;
+  done->CountDown();
+}
+
+Task RemoteSingleFileRestoreJob(Filer* filer, Filesystem* fs,
+                                RemoteTarget target,
+                                const TapeCatalog* catalog,
+                                std::string path,  // by value: outlives spawn
+                                LogicalRestoreOptions options,
+                                bool bypass_nvram, LinkBudget* budget,
+                                RemoteSingleFileRestoreResult* result,
+                                CountdownLatch* done) {
+  SimEnvironment* env = filer->env();
+  JobReport& report = result->report;
+  report.name = "Remote single-file restore";
+  report.start_time = env->now();
+  report.cpu_busy_start = filer->cpu().BusyIntegral();
+
+  if (!target.drive->loaded()) {
+    report.status = FailedPrecondition("no tape loaded for restore");
+    done->CountDown();
+    co_return;
+  }
+  if (catalog == nullptr) {
+    report.status = InvalidArgument("single-file restore needs a catalog");
+    done->CountDown();
+    co_return;
+  }
+  // Single-media only: the ranged reads address the mounted tape directly.
+  const std::span<const uint8_t> stream = target.drive->tape()->contents();
+  result->full_stream_bytes = stream.size();
+
+  // Reserve the link allowance up front from the catalog's estimate — the
+  // ranges the restore will pull, known before any byte moves.
+  uint64_t estimate = 0;
+  {
+    Result<RestoreCatalog> names = BuildRestoreCatalog(stream);
+    if (!names.ok()) {
+      report.status = names.status();
+      done->CountDown();
+      co_return;
+    }
+    Result<Inum> selected = names->Namei(path);
+    if (!selected.ok()) {
+      report.status = selected.status();
+      done->CountDown();
+      co_return;
+    }
+    const std::vector<Inum> wanted = names->Descendants(*selected);
+    for (const StreamRange& r : catalog->RestoreRanges(wanted)) {
+      estimate += r.size();
+    }
+  }
+  if (budget != nullptr && !budget->TryReserve(estimate)) {
+    result->budget_rejected = true;
+    report.status = Exhausted("link budget rejected single-file restore");
+    done->CountDown();
+    co_return;
+  }
+
+  options.select = {path};
+  options.catalog = catalog;
+  fs->MarkCpCounters();
+  Result<LogicalRestoreOutput> restored =
+      RunLogicalRestore(fs, stream, options);
+  if (!restored.ok()) {
+    if (budget != nullptr) {
+      budget->Cancel(estimate);
+    }
+    report.status = restored.status();
+    done->CountDown();
+    co_return;
+  }
+  result->restore = std::move(*restored);
+
+  const uint64_t data_writes = fs->cp_data_writes_since_mark();
+  const uint64_t meta_writes = fs->cp_meta_writes_since_mark();
+  ReplayConfig cfg = RemoteReplayConfig(filer, fs->volume(), target);
+  cfg.charge_nvram = !bypass_nvram;
+  cfg.count_net_bytes = true;
+  cfg.write_meta_multiplier =
+      data_writes > 0
+          ? static_cast<double>(meta_writes) / static_cast<double>(data_writes)
+          : 0.5;
+
+  CountdownLatch replay_done(env, 1);
+  env->Spawn(ReplayFromNetRanges(cfg, target, &result->restore.trace, stream,
+                                 result->restore.consumed_ranges, &report,
+                                 &replay_done));
+  co_await replay_done.Wait();
+
+  for (const StreamRange& r : result->restore.consumed_ranges) {
+    result->link_bytes += r.size();
+  }
+  if (budget != nullptr) {
+    budget->Commit(estimate, result->link_bytes);
+  }
+  MetricsRegistry::Default()
+      .GetCounter("restore.single_file.link_bytes")
+      ->Increment(result->link_bytes);
 
   report.end_time = env->now();
   report.cpu_busy_end = filer->cpu().BusyIntegral();

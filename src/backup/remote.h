@@ -55,6 +55,29 @@ Task RemoteLogicalRestoreJob(Filer* filer, Filesystem* fs, RemoteTarget target,
                              LogicalRestoreJobResult* result,
                              CountdownLatch* done);
 
+struct RemoteSingleFileRestoreResult {
+  LogicalRestoreOutput restore;
+  JobReport report;
+  uint64_t link_bytes = 0;         // stream bytes actually shipped
+  uint64_t full_stream_bytes = 0;  // what a naive full-stream pull would move
+  bool budget_rejected = false;    // the LinkBudget refused the reservation
+};
+
+// Restores one file (or subtree) from the server's media using the dump's
+// catalog: the catalog turns the path into exact byte ranges, the server
+// reads only those ranges (seek/read ladders via TapeServer::ReadRange), and
+// only O(file) bytes cross the link instead of the whole stream — the
+// paper's "stupidity recovery" at WAN cost. `budget` (optional) gates the
+// transfer on the nightly link allowance, reserving the catalog's estimate
+// up front. Single-media only: ranges address the drive's mounted tape.
+Task RemoteSingleFileRestoreJob(Filer* filer, Filesystem* fs,
+                                RemoteTarget target,
+                                const TapeCatalog* catalog, std::string path,
+                                LogicalRestoreOptions options,
+                                bool bypass_nvram, LinkBudget* budget,
+                                RemoteSingleFileRestoreResult* result,
+                                CountdownLatch* done);
+
 // Block-order image dump streamed over the link to the server's drive.
 Task RemoteImageBackupJob(Filer* filer, Filesystem* fs, RemoteTarget target,
                           ImageDumpOptions options, bool delete_snapshot_after,

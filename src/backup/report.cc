@@ -50,6 +50,14 @@ void FaultCounters::Add(const FaultCounters& o) {
   link_bytes_resent += o.link_bytes_resent;
 }
 
+void ResumeStats::Add(const ResumeStats& o) {
+  resumes += o.resumes;
+  bytes_replayed += o.bytes_replayed;
+  bytes_skipped += o.bytes_skipped;
+  entries_skipped += o.entries_skipped;
+  checkpoints += o.checkpoints;
+}
+
 void JobReport::TouchPhase(JobPhase p, SimTime now, int64_t cpu_busy) {
   PhaseStats& stats = phase(p);
   if (!stats.active()) {
@@ -201,6 +209,14 @@ void JobReport::WriteJson(JsonWriter* w) const {
       .Field("link_reconnects", faults.link_reconnects)
       .Field("link_bytes_resent", faults.link_bytes_resent)
       .EndObject();
+  w->Key("resume")
+      .BeginObject()
+      .Field("resumes", resume.resumes)
+      .Field("bytes_replayed", resume.bytes_replayed)
+      .Field("bytes_skipped", resume.bytes_skipped)
+      .Field("entries_skipped", resume.entries_skipped)
+      .Field("checkpoints", resume.checkpoints)
+      .EndObject();
   w->Key("phases").BeginArray();
   for (int i = 0; i < static_cast<int>(JobPhase::kCount); ++i) {
     const PhaseStats& p = phases[i];
@@ -247,6 +263,7 @@ JobReport MergeReports(const std::string& name,
       merged.status = r.status;
     }
     merged.faults.Add(r.faults);
+    merged.resume.Add(r.resume);
     merged.tapes_used.insert(merged.tapes_used.end(), r.tapes_used.begin(),
                              r.tapes_used.end());
     merged.final_media.insert(merged.final_media.end(), r.final_media.begin(),

@@ -78,6 +78,24 @@ struct FaultCounters {
   bool operator==(const FaultCounters&) const = default;
 };
 
+// Crash-resume accounting of a restore job. All zero when the restore ran
+// uninterrupted; deterministic per seed, like FaultCounters.
+struct ResumeStats {
+  uint64_t resumes = 0;          // process incarnations beyond the first
+  uint64_t bytes_replayed = 0;   // stream bytes resumed attempts re-consumed
+  uint64_t bytes_skipped = 0;    // stream bytes fast-forwarded via catalog
+  uint64_t entries_skipped = 0;  // catalog entries proven already applied
+  uint64_t checkpoints = 0;      // mid-run consistency points taken
+
+  bool any() const {
+    return resumes + bytes_replayed + bytes_skipped + entries_skipped +
+               checkpoints >
+           0;
+  }
+  void Add(const ResumeStats& o);
+  bool operator==(const ResumeStats&) const = default;
+};
+
 struct JobReport {
   std::string name;
   SimTime start_time = 0;
@@ -90,6 +108,7 @@ struct JobReport {
   // must read this set, in this order.
   std::vector<std::string> final_media;
   FaultCounters faults;
+  ResumeStats resume;
   Status status;
   std::array<PhaseStats, static_cast<int>(JobPhase::kCount)> phases{};
 

@@ -38,6 +38,12 @@ struct SupervisionPolicy {
   RetryPolicy link_retry{.max_attempts = 5,
                          .initial_backoff = 500 * kMillisecond,
                          .max_backoff = 5 * kSecond};
+  // Crash-resumable restores: a killed restore process is restarted (after
+  // reboot-scale backoff) and resumed from the catalog diff, up to
+  // max_attempts incarnations.
+  RetryPolicy restart_retry{.max_attempts = 8,
+                            .initial_backoff = kSecond,
+                            .max_backoff = 30 * kSecond};
   int hot_spare_disks = 1;
   bool reconstruct_on_disk_failure = true;
   bool remount_on_media_error = true;

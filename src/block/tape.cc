@@ -152,4 +152,18 @@ Task TapeDrive::TimedRead(std::span<uint8_t> out, Status* status) {
   unit_.Release();
 }
 
+Task TapeDrive::TimedSeekTo(uint64_t offset, Status* status) {
+  co_await unit_.Acquire();
+  if (offset != position_) {
+    // Any jump breaks streaming: one reposition, always.
+    ++repositions_;
+    metric_repositions_->Increment();
+    TRACE_INSTANT(env_, name_, "reposition");
+    co_await env_->Delay(timing_.reposition_penalty);
+  }
+  *status = SeekTo(offset);
+  streaming_until_ = env_->now();
+  unit_.Release();
+}
+
 }  // namespace bkup

@@ -106,6 +106,11 @@ class TapeDrive {
   Task TimedWrite(std::span<const uint8_t> data, Status* status);
   Task TimedRead(std::span<uint8_t> out, Status* status);
 
+  // Awaitable seek: repositions the head to an absolute byte offset, paying
+  // the reposition penalty when the target is off the streaming path. The
+  // ranged reads of catalog-driven restores are seek/read ladders.
+  Task TimedSeekTo(uint64_t offset, Status* status);
+
   Resource& unit() { return unit_; }
   const Resource& unit() const { return unit_; }
   uint64_t bytes_transferred() const { return bytes_transferred_; }

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <deque>
 
+#include "src/fs/layout.h"
 #include "src/fs/reader.h"
+#include "src/obs/metrics.h"
+#include "src/util/checksum.h"
+#include "src/util/serdes.h"
 
 namespace bkup {
 
@@ -155,6 +159,316 @@ void RestoreCatalog::ForEachDirTopDown(
       }
     }
   }
+}
+
+// ----------------------------------------------------------- TapeCatalog ---
+
+namespace {
+
+// Journal image layout: magic, version, then a frame sequence. Entry frames
+// carry one record's (type, inum, offset, bytes); a checkpoint frame seals
+// every frame before it with a CRC over the whole image prefix, so a loader
+// can prove exactly how far the journal is intact.
+constexpr uint32_t kCatalogMagic = 0xCA7A1099;
+constexpr uint32_t kCatalogVersion = 1;
+constexpr uint8_t kEntryFrame = 1;
+constexpr uint8_t kCheckpointFrame = 2;
+
+// Payload bytes following a record header of `rec` on the stream.
+uint64_t RecordPayloadBytes(const DumpRecord& rec) {
+  switch (rec.type) {
+    case DumpRecordType::kUsedMap:
+    case DumpRecordType::kDumpedMap:
+      return rec.map_bytes;
+    case DumpRecordType::kDirectory:
+      return static_cast<uint64_t>(rec.present_count) * kDumpRecordSize;
+    case DumpRecordType::kInode:
+    case DumpRecordType::kAddr:
+      return static_cast<uint64_t>(rec.present_count) * kBlockSize;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+void CoalesceRanges(std::vector<StreamRange>* ranges) {
+  size_t kept = 0;
+  for (const StreamRange& r : *ranges) {
+    if (r.begin >= r.end) {
+      continue;
+    }
+    if (kept > 0 && r.begin <= (*ranges)[kept - 1].end) {
+      (*ranges)[kept - 1].end = std::max((*ranges)[kept - 1].end, r.end);
+    } else {
+      (*ranges)[kept++] = r;
+    }
+  }
+  ranges->resize(kept);
+}
+
+uint64_t TapeCatalog::stream_end() const {
+  uint64_t end = 0;
+  for (const Entry& e : entries_) {
+    end = std::max(end, e.offset + e.bytes);
+  }
+  return end;
+}
+
+size_t TapeCatalog::first_file_entry() const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].type == DumpRecordType::kInode ||
+        entries_[i].type == DumpRecordType::kAddr) {
+      return i;
+    }
+  }
+  return entries_.size();
+}
+
+uint64_t TapeCatalog::directory_end() const {
+  const size_t i = first_file_entry();
+  return i < entries_.size() ? entries_[i].offset : stream_end();
+}
+
+std::vector<TapeCatalog::Entry> TapeCatalog::RecordsOf(Inum inum) const {
+  std::vector<Entry> out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].type != DumpRecordType::kInode ||
+        entries_[i].inum != inum) {
+      continue;
+    }
+    out.push_back(entries_[i]);
+    for (size_t j = i + 1; j < entries_.size() &&
+                           entries_[j].type == DumpRecordType::kAddr &&
+                           entries_[j].inum == inum;
+         ++j) {
+      out.push_back(entries_[j]);
+    }
+    break;
+  }
+  return out;
+}
+
+std::vector<StreamRange> TapeCatalog::RestoreRanges(
+    std::span<const Inum> wanted) const {
+  std::vector<StreamRange> ranges;
+  ranges.push_back({0, directory_end()});
+  for (Inum inum : wanted) {
+    for (const Entry& e : RecordsOf(inum)) {
+      ranges.push_back({e.offset, e.offset + e.bytes});
+    }
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const StreamRange& a, const StreamRange& b) {
+              return a.begin < b.begin;
+            });
+  CoalesceRanges(&ranges);
+  return ranges;
+}
+
+std::vector<uint8_t> TapeCatalog::Serialize(uint32_t checkpoint_every) const {
+  TapeCatalogWriter writer(checkpoint_every);
+  for (const Entry& e : entries_) {
+    writer.Add(e);
+  }
+  writer.Finish();
+  return writer.TakeImage();
+}
+
+Result<TapeCatalog> TapeCatalog::Load(std::span<const uint8_t> image,
+                                      LoadStats* stats) {
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics.GetCounter("catalog.loads")->Increment();
+  LoadStats local;
+  ByteReader r(image);
+  Result<uint32_t> magic = r.ReadU32();
+  if (!magic.ok() || *magic != kCatalogMagic) {
+    metrics.GetCounter("catalog.load_failures")->Increment();
+    return Corruption("catalog image has no valid header");
+  }
+  Result<uint32_t> version = r.ReadU32();
+  if (!version.ok() || *version != kCatalogVersion) {
+    metrics.GetCounter("catalog.load_failures")->Increment();
+    return Corruption("unsupported catalog version");
+  }
+
+  std::vector<Entry> staged;
+  size_t sealed = 0;  // entries proven intact by the last valid checkpoint
+  bool torn = false;
+  while (!r.exhausted() && !torn) {
+    Result<uint8_t> kind = r.ReadU8();
+    if (!kind.ok()) {
+      torn = true;
+      break;
+    }
+    switch (*kind) {
+      case kEntryFrame: {
+        Result<uint8_t> type = r.ReadU8();
+        Result<uint32_t> inum = r.ReadU32();
+        Result<uint64_t> offset = r.ReadU64();
+        Result<uint64_t> bytes = r.ReadU64();
+        if (!type.ok() || !inum.ok() || !offset.ok() || !bytes.ok()) {
+          torn = true;  // mid-entry truncation
+          break;
+        }
+        staged.push_back(Entry{static_cast<DumpRecordType>(*type),
+                               static_cast<Inum>(*inum), *offset, *bytes});
+        break;
+      }
+      case kCheckpointFrame: {
+        Result<uint64_t> count = r.ReadU64();
+        Result<uint64_t> end = r.ReadU64();
+        if (!count.ok() || !end.ok()) {
+          torn = true;
+          break;
+        }
+        const size_t crc_at = r.position();
+        Result<uint32_t> crc = r.ReadU32();
+        if (!crc.ok()) {
+          torn = true;
+          break;
+        }
+        if (*crc != Crc32c(image.first(crc_at)) || *count != staged.size()) {
+          // A flip anywhere in the prefix fails every later checkpoint; the
+          // last one that verified bounds what is trustworthy.
+          torn = true;
+          break;
+        }
+        sealed = staged.size();
+        ++local.checkpoints_seen;
+        break;
+      }
+      default:
+        torn = true;  // unknown frame: treat like a torn tail
+        break;
+    }
+  }
+
+  if (local.checkpoints_seen == 0) {
+    metrics.GetCounter("catalog.load_failures")->Increment();
+    return Corruption("catalog has no intact checkpointed prefix");
+  }
+  local.truncated = torn || sealed < staged.size();
+  local.entries_dropped = staged.size() - sealed;
+  local.entries_loaded = sealed;
+  staged.resize(sealed);
+
+  metrics.GetCounter("catalog.entries_loaded")
+      ->Increment(local.entries_loaded);
+  metrics.GetCounter("catalog.entries_dropped")
+      ->Increment(local.entries_dropped);
+  if (local.truncated) {
+    metrics.GetCounter("catalog.load_truncated")->Increment();
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  TapeCatalog catalog;
+  catalog.entries_ = std::move(staged);
+  return catalog;
+}
+
+Result<TapeCatalog> TapeCatalog::FromStream(std::span<const uint8_t> stream) {
+  TapeCatalog catalog;
+  uint64_t pos = 0;
+  while (pos + kDumpRecordSize <= stream.size()) {
+    Result<DumpRecord> rec =
+        DumpRecord::Parse(stream.subspan(pos, kDumpRecordSize));
+    if (!rec.ok()) {
+      return Corruption("unparseable record while indexing stream");
+    }
+    if (rec->type == DumpRecordType::kEnd) {
+      break;
+    }
+    const uint64_t payload = RecordPayloadBytes(*rec);
+    if (pos + kDumpRecordSize + payload > stream.size()) {
+      break;  // truncated tail: index what is whole
+    }
+    if (rec->type == DumpRecordType::kDirectory ||
+        rec->type == DumpRecordType::kInode ||
+        rec->type == DumpRecordType::kAddr) {
+      catalog.Add(Entry{rec->type, rec->inum, pos,
+                        kDumpRecordSize + payload});
+    }
+    pos += kDumpRecordSize + payload;
+  }
+  return catalog;
+}
+
+// ----------------------------------------------------- TapeCatalogWriter ---
+
+TapeCatalogWriter::TapeCatalogWriter(uint32_t checkpoint_every)
+    : checkpoint_every_(checkpoint_every == 0 ? 1 : checkpoint_every) {
+  ByteWriter w(&image_);
+  w.PutU32(kCatalogMagic);
+  w.PutU32(kCatalogVersion);
+}
+
+void TapeCatalogWriter::Add(const TapeCatalog::Entry& entry) {
+  ByteWriter w(&image_);
+  w.PutU8(kEntryFrame);
+  w.PutU8(static_cast<uint8_t>(entry.type));
+  w.PutU32(entry.inum);
+  w.PutU64(entry.offset);
+  w.PutU64(entry.bytes);
+  ++entries_;
+  stream_end_ = std::max(stream_end_, entry.offset + entry.bytes);
+  if (entries_ - entries_sealed_ >= checkpoint_every_) {
+    Checkpoint();
+  }
+}
+
+void TapeCatalogWriter::Finish() {
+  if (entries_sealed_ < entries_ || checkpoints_written_ == 0) {
+    Checkpoint();
+  }
+}
+
+void TapeCatalogWriter::Checkpoint() {
+  ByteWriter w(&image_);
+  w.PutU8(kCheckpointFrame);
+  w.PutU64(entries_);
+  w.PutU64(stream_end_);
+  w.PutU32(Crc32c(image_));
+  entries_sealed_ = entries_;
+  ++checkpoints_written_;
+  MetricsRegistry::Default().GetCounter("catalog.checkpoints")->Increment();
+}
+
+// --------------------------------------------------- BuildRestoreCatalog ---
+
+Result<RestoreCatalog> BuildRestoreCatalog(std::span<const uint8_t> stream) {
+  RestoreCatalog catalog;
+  uint64_t pos = 0;
+  bool saw_header = false;
+  while (pos + kDumpRecordSize <= stream.size()) {
+    BKUP_ASSIGN_OR_RETURN(
+        DumpRecord rec, DumpRecord::Parse(stream.subspan(pos, kDumpRecordSize)));
+    pos += kDumpRecordSize;
+    if (!saw_header) {
+      if (rec.type != DumpRecordType::kTapeHeader) {
+        return Corruption("stream does not start with a tape header");
+      }
+      saw_header = true;
+      continue;
+    }
+    const uint64_t payload = RecordPayloadBytes(rec);
+    if (pos + payload > stream.size()) {
+      return Corruption("stream prologue truncated");
+    }
+    if (rec.type == DumpRecordType::kDirectory) {
+      BKUP_ASSIGN_OR_RETURN(
+          std::vector<DirEntry> entries,
+          DecodeDumpDirectory(stream.subspan(pos, rec.payload_bytes)));
+      catalog.AddDirectory(rec.inum, rec.attrs, std::move(entries));
+    } else if (rec.type != DumpRecordType::kUsedMap &&
+               rec.type != DumpRecordType::kDumpedMap) {
+      break;  // first file record: the prologue is complete
+    }
+    pos += payload;
+  }
+  BKUP_RETURN_IF_ERROR(catalog.Finalize());
+  return catalog;
 }
 
 }  // namespace bkup

@@ -26,8 +26,18 @@ struct DumpContext {
   std::map<Inum, Inum> parent;                 // child dir -> parent dir
   std::map<Inum, InodeData> file_inodes;       // non-directories
 
+  TapeCatalogWriter catalog_writer{64};
+
   void Emit(std::span<const uint8_t> bytes) {
     out.stream.insert(out.stream.end(), bytes.begin(), bytes.end());
+  }
+  // Indexes the record emitted since `offset` in the offset catalog and its
+  // durable journal (checkpointed at the journal's cadence).
+  void Index(DumpRecordType type, Inum inum, uint64_t offset) {
+    const TapeCatalog::Entry e{type, inum, offset,
+                               out.stream.size() - offset};
+    out.catalog.Add(e);
+    catalog_writer.Add(e);
   }
   IoEvent& Event(JobPhase phase) {
     out.trace.events.emplace_back();
@@ -216,9 +226,11 @@ Status DumpDirectories(DumpContext* ctx) {
                    0);
     rec.present_count =
         static_cast<uint32_t>(payload.size() / kDumpRecordSize);
+    const uint64_t record_offset = ctx->out.stream.size();
     BKUP_ASSIGN_OR_RETURN(std::vector<uint8_t> hdr, rec.Serialize());
     ctx->Emit(hdr);
     ctx->Emit(payload);
+    ctx->Index(DumpRecordType::kDirectory, inum, record_offset);
 
     IoEvent& event = ctx->Event(JobPhase::kDumpDirs);
     const Vbn ivbn = ctx->reader->InodeFileVbn(inum);
@@ -303,9 +315,11 @@ Status DumpFiles(DumpContext* ctx) {
       }
       rec.present_count = present;
       rec.data_crc = Crc32c(data);
+      const uint64_t record_offset = ctx->out.stream.size();
       BKUP_ASSIGN_OR_RETURN(std::vector<uint8_t> hdr, rec.Serialize());
       ctx->Emit(hdr);
       ctx->Emit(data);
+      ctx->Index(rec.type, inum, record_offset);
 
       event.stream_end = ctx->out.stream.size();
       event.cpu.push_back({CpuCost::kHeaderFormat, 1});
@@ -363,6 +377,7 @@ Result<LogicalDumpOutput> RunLogicalDump(const FsReader& reader,
   DumpContext ctx;
   ctx.reader = &reader;
   ctx.options = &options;
+  ctx.catalog_writer = TapeCatalogWriter(options.catalog_checkpoint_every);
 
   BKUP_RETURN_IF_ERROR(MapPhase(&ctx));
   if (options.skip_unreadable) {
@@ -380,7 +395,11 @@ Result<LogicalDumpOutput> RunLogicalDump(const FsReader& reader,
   event.cpu.push_back({CpuCost::kHeaderFormat, 1});
 
   ctx.out.stats.stream_bytes = ctx.out.stream.size();
+  ctx.catalog_writer.Finish();
+  ctx.out.catalog_image = ctx.catalog_writer.TakeImage();
   MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics.GetCounter("catalog.entries_written")
+      ->Increment(ctx.out.catalog.entries().size());
   metrics.GetCounter("dump.logical.runs")->Increment();
   metrics.GetCounter("dump.logical.files")
       ->Increment(ctx.out.stats.files_dumped);

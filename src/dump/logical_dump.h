@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/block/io_trace.h"
+#include "src/dump/catalog.h"
 #include "src/dump/format.h"
 #include "src/fs/reader.h"
 #include "src/util/status.h"
@@ -45,6 +46,9 @@ struct LogicalDumpOptions {
   // This is a logical-dump-only luxury — image dump has no file boundaries
   // to skip at and must hard-fail on an unreadable block.
   bool skip_unreadable = false;
+  // Durable catalog journal cadence: a checkpoint frame seals the entry
+  // journal every this many records, bounding what a torn tail can lose.
+  uint32_t catalog_checkpoint_every = 64;
 };
 
 struct LogicalDumpStats {
@@ -62,6 +66,12 @@ struct LogicalDumpOutput {
   std::vector<uint8_t> stream;
   IoTrace trace;
   LogicalDumpStats stats;
+  // Offset index of every record on `stream`: the recovery authority for
+  // resumed and single-file restores.
+  TapeCatalog catalog;
+  // The same index as a durable journal image (checkpointed incrementally
+  // while the dump ran), ready to land next to the media.
+  std::vector<uint8_t> catalog_image;
 };
 
 // Runs a dump of `reader` (normally a snapshot view). Fails with NotFound if

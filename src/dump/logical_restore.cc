@@ -73,6 +73,20 @@ Result<RestoreSymtable> RestoreSymtable::Deserialize(const std::string& text) {
   return table;
 }
 
+const char* RestorePhaseName(RestorePhase phase) {
+  switch (phase) {
+    case RestorePhase::kMaps:
+      return "maps";
+    case RestorePhase::kDirectories:
+      return "directories";
+    case RestorePhase::kFiles:
+      return "files";
+    case RestorePhase::kFinal:
+      return "final";
+  }
+  return "?";
+}
+
 // ------------------------------------------------------------- internals ---
 
 namespace {
@@ -147,6 +161,18 @@ class RestoreRun {
   Status FinalizeOpenFile();
   Status FinalPass();
 
+  // Crash-resumable recovery (active when opt_.catalog is set and the run
+  // resumes or selects): seek between needed record extents via the catalog
+  // instead of scanning every record.
+  Status MaybePlanAndSkip(bool* stop);
+  Status BuildReplayPlan();
+  Result<bool> EntryComplete(const TapeCatalog::Entry& entry);
+  // Applies one record's worth of progress bookkeeping: the CP cadence and
+  // the kill hook. True = the process just died.
+  bool Applied(RestorePhase phase);
+  void Jump(uint64_t to);
+  Result<LogicalRestoreOutput> Finish();
+
   Filesystem* fs_;
   std::span<const uint8_t> stream_;
   const LogicalRestoreOptions& opt_;
@@ -174,6 +200,16 @@ class RestoreRun {
   Inum open_fs_ = kInvalidInum;
   DumpInodeAttrs open_attrs_;
   bool open_valid_ = false;
+
+  // Crash-resumable recovery state.
+  bool killed_ = false;
+  uint64_t entries_applied_ = 0;
+  uint32_t applied_since_cp_ = 0;
+  bool plan_ready_ = false;
+  std::vector<StreamRange> plan_;  // file-section extents to replay
+  size_t plan_idx_ = 0;
+  uint64_t run_start_ = 0;  // begin of the current contiguous consumed run
+  std::vector<StreamRange> consumed_;
 };
 
 Result<DumpRecord> RestoreRun::NextRecord() {
@@ -615,6 +651,161 @@ Status RestoreRun::FinalPass() {
   return Status::Ok();
 }
 
+bool RestoreRun::Applied(RestorePhase phase) {
+  ++entries_applied_;
+  if (opt_.checkpoint_every > 0 &&
+      ++applied_since_cp_ >= opt_.checkpoint_every) {
+    applied_since_cp_ = 0;
+    if (fs_->ConsistencyPoint().status().ok()) {
+      out_.stats.checkpoints++;
+    }
+  }
+  if (!killed_ && opt_.kill != nullptr &&
+      opt_.kill->ShouldKill(phase, entries_applied_, pos_)) {
+    killed_ = true;
+  }
+  return killed_;
+}
+
+void RestoreRun::Jump(uint64_t to) {
+  if (to <= pos_) {
+    return;
+  }
+  out_.stats.bytes_skipped += to - pos_;
+  if (pos_ > run_start_) {
+    consumed_.push_back({run_start_, pos_});
+  }
+  pos_ = to;
+  run_start_ = to;
+}
+
+Result<LogicalRestoreOutput> RestoreRun::Finish() {
+  if (pos_ > run_start_) {
+    consumed_.push_back({run_start_, pos_});
+  }
+  CoalesceRanges(&consumed_);
+  out_.consumed_ranges = consumed_;
+  out_.stats.bytes_replayed = 0;
+  for (const StreamRange& r : out_.consumed_ranges) {
+    out_.stats.bytes_replayed += r.size();
+  }
+  out_.stopped_at = pos_;
+  out_.interrupted = killed_;
+  return std::move(out_);
+}
+
+Result<bool> RestoreRun::EntryComplete(const TapeCatalog::Entry& entry) {
+  if (entry.offset + kDumpRecordSize > stream_.size()) {
+    return false;
+  }
+  Result<DumpRecord> rec =
+      DumpRecord::Parse(stream_.subspan(entry.offset, kDumpRecordSize));
+  if (!rec.ok() || rec->type != DumpRecordType::kInode) {
+    return false;
+  }
+  const std::vector<std::string> rel_paths = catalog_.PathsOf(rec->inum);
+  if (rel_paths.empty()) {
+    return false;
+  }
+  // Complete means: every link name exists on the target, and the primary
+  // path's attributes match the dumped ones. The finalize step (truncate to
+  // size + set mode/uid/gid/times) is the last thing the engine does per
+  // file, so a file that passes this check either ran the full create/fill/
+  // finalize sequence or is byte-identical to one that did — replaying it
+  // again would be a no-op either way.
+  Inum fs_inum = kInvalidInum;
+  for (size_t i = 0; i < rel_paths.size(); ++i) {
+    Result<Inum> found =
+        fs_->LookupPath(JoinTarget(opt_.target_dir, rel_paths[i]));
+    if (!found.ok()) {
+      return false;
+    }
+    if (i == 0) {
+      fs_inum = *found;
+    }
+  }
+  Result<InodeData> attrs = fs_->GetAttr(fs_inum);
+  if (!attrs.ok()) {
+    return false;
+  }
+  const DumpInodeAttrs& want = rec->attrs;
+  if (attrs->type != want.type || attrs->size != want.size ||
+      attrs->mtime != want.mtime || attrs->uid != want.uid ||
+      attrs->gid != want.gid) {
+    return false;
+  }
+  // The file survives as-is; register it so a later incremental pass and
+  // the symtable still see it.
+  const std::string fs_path = JoinTarget(opt_.target_dir, rel_paths[0]);
+  inum_map_[rec->inum] = fs_inum;
+  fs_path_of_[rec->inum] = fs_path;
+  if (opt_.symtable != nullptr) {
+    opt_.symtable->Set(rec->inum, fs_path);
+  }
+  return true;
+}
+
+Status RestoreRun::BuildReplayPlan() {
+  const std::vector<TapeCatalog::Entry>& entries = opt_.catalog->entries();
+  for (size_t i = opt_.catalog->first_file_entry(); i < entries.size();) {
+    if (entries[i].type != DumpRecordType::kInode) {
+      ++i;  // an orphan kAddr is useless without its kInode
+      continue;
+    }
+    // The file's extent: its kInode record plus following continuations.
+    size_t j = i + 1;
+    uint64_t end = entries[i].offset + entries[i].bytes;
+    while (j < entries.size() && entries[j].type == DumpRecordType::kAddr &&
+           entries[j].inum == entries[i].inum) {
+      end = entries[j].offset + entries[j].bytes;
+      ++j;
+    }
+    bool replay = restore_all_ || wanted_.count(entries[i].inum) != 0;
+    if (replay && opt_.resume) {
+      BKUP_ASSIGN_OR_RETURN(bool complete, EntryComplete(entries[i]));
+      if (complete) {
+        replay = false;
+        out_.stats.files_already_complete++;
+        out_.stats.entries_skipped += static_cast<uint32_t>(j - i);
+      }
+    }
+    if (replay) {
+      plan_.push_back({entries[i].offset, end});
+    }
+    i = j;
+  }
+  CoalesceRanges(&plan_);
+  return Status::Ok();
+}
+
+Status RestoreRun::MaybePlanAndSkip(bool* stop) {
+  *stop = false;
+  if (opt_.catalog == nullptr || (!opt_.resume && opt_.select.empty())) {
+    return Status::Ok();  // classic full scan
+  }
+  if (!plan_ready_) {
+    if (pos_ < opt_.catalog->directory_end()) {
+      return Status::Ok();  // still inside the prologue
+    }
+    // The cursor reached the file section: the directory stage is fully
+    // read, so the selection and the resume diff can be computed now.
+    BKUP_RETURN_IF_ERROR(FinishDirectoryStage());
+    BKUP_RETURN_IF_ERROR(BuildReplayPlan());
+    plan_ready_ = true;
+  }
+  while (plan_idx_ < plan_.size() && pos_ >= plan_[plan_idx_].end) {
+    ++plan_idx_;
+  }
+  if (plan_idx_ >= plan_.size()) {
+    *stop = true;  // nothing left to replay; skip straight to the final pass
+    return Status::Ok();
+  }
+  if (pos_ < plan_[plan_idx_].begin) {
+    Jump(plan_[plan_idx_].begin);
+  }
+  return Status::Ok();
+}
+
 Result<LogicalRestoreOutput> RestoreRun::Run() {
   if (opt_.apply_moves_and_deletes && opt_.symtable == nullptr) {
     return InvalidArgument(
@@ -634,8 +825,16 @@ Result<LogicalRestoreOutput> RestoreRun::Run() {
   out_.level = header.level;
   out_.dump_time = header.dump_time;
   BKUP_RETURN_IF_ERROR(ReadMaps());
+  if (Applied(RestorePhase::kMaps)) {
+    return Finish();
+  }
 
-  while (true) {
+  while (!killed_) {
+    bool plan_done = false;
+    BKUP_RETURN_IF_ERROR(MaybePlanAndSkip(&plan_done));
+    if (plan_done) {
+      break;
+    }
     Result<DumpRecord> rec = NextRecord();
     if (!rec.ok()) {
       break;  // ran off the end: treat like kEnd but count it
@@ -646,10 +845,12 @@ Result<LogicalRestoreOutput> RestoreRun::Run() {
     switch (rec->type) {
       case DumpRecordType::kDirectory:
         BKUP_RETURN_IF_ERROR(HandleDirectory(*rec));
+        Applied(RestorePhase::kDirectories);
         break;
       case DumpRecordType::kInode:
       case DumpRecordType::kAddr:
         BKUP_RETURN_IF_ERROR(HandleFileRecord(*rec));
+        Applied(RestorePhase::kFiles);
         break;
       default:
         // Unexpected record type mid-stream; skip it.
@@ -657,8 +858,11 @@ Result<LogicalRestoreOutput> RestoreRun::Run() {
         break;
     }
   }
+  if (killed_ || Applied(RestorePhase::kFinal)) {
+    return Finish();  // died before the final pass: no closing CP
+  }
   BKUP_RETURN_IF_ERROR(FinalPass());
-  return std::move(out_);
+  return Finish();
 }
 
 }  // namespace
@@ -677,6 +881,20 @@ Result<LogicalRestoreOutput> RunLogicalRestore(
         ->Increment(out->stats.bytes_restored);
     metrics.GetCounter("restore.logical.corrupt_records_skipped")
         ->Increment(out->stats.corrupt_records_skipped);
+    metrics.GetCounter("restore.checkpoints")
+        ->Increment(out->stats.checkpoints);
+    if (options.resume) {
+      metrics.GetCounter("restore.resume.runs")->Increment();
+      metrics.GetCounter("restore.resume.bytes_replayed")
+          ->Increment(out->stats.bytes_replayed);
+      metrics.GetCounter("restore.resume.bytes_skipped")
+          ->Increment(out->stats.bytes_skipped);
+      metrics.GetCounter("restore.resume.entries_skipped")
+          ->Increment(out->stats.entries_skipped);
+    }
+    if (out->interrupted) {
+      metrics.GetCounter("restore.interrupted")->Increment();
+    }
   }
   return out;
 }

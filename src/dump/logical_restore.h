@@ -58,6 +58,28 @@ class RestoreSymtable {
   std::map<Inum, std::string> paths_;
 };
 
+// Where a restore process is when a crash-fault engine is consulted.
+enum class RestorePhase : uint8_t {
+  kMaps,         // tape header and inode maps
+  kDirectories,  // directory records (catalog build + tree skeleton)
+  kFiles,        // file/addr records (create + fill data)
+  kFinal,        // final pass (directory fixups, closing CP)
+};
+
+const char* RestorePhaseName(RestorePhase phase);
+
+// Consulted by the restore engine after every applied record. Returning
+// true kills the restore process on the spot: the run returns with
+// `interrupted` set, no final pass, no closing consistency point — exactly
+// the state a SIGKILL would leave. Implemented by the crash fault engine in
+// src/faults (the dump-layer twin of DeviceFaultHook).
+class RestoreKillHook {
+ public:
+  virtual ~RestoreKillHook() = default;
+  virtual bool ShouldKill(RestorePhase phase, uint64_t entries_applied,
+                          uint64_t stream_offset) = 0;
+};
+
 struct LogicalRestoreOptions {
   enum class Mode { kPortable, kKernel };
   Mode mode = Mode::kKernel;
@@ -70,6 +92,23 @@ struct LogicalRestoreOptions {
   // (apply deletions and renames). Requires `symtable`.
   bool apply_moves_and_deletes = false;
   RestoreSymtable* symtable = nullptr;  // updated in place when non-null
+
+  // --- crash-resumable recovery ---
+  // The stream's offset index. With it the engine seeks between the record
+  // extents it actually needs (selection and resume) instead of scanning
+  // every record; without it, behaviour is the classic full scan.
+  const TapeCatalog* catalog = nullptr;
+  // Resume a killed restore: after the directory stage, diff `catalog`
+  // against the target tree and fast-forward past every file that is
+  // already complete, replaying only the missing suffix. Requires
+  // `catalog`.
+  bool resume = false;
+  // Consistency-point cadence: one CP per this many applied records makes
+  // restored state durable as the run goes, so a crash loses at most one
+  // cadence of work. 0 = only the final pass's closing CP.
+  uint32_t checkpoint_every = 0;
+  // Crash injection point; null runs to completion.
+  RestoreKillHook* kill = nullptr;
 };
 
 struct LogicalRestoreStats {
@@ -83,6 +122,12 @@ struct LogicalRestoreStats {
   uint64_t bytes_restored = 0;
   uint32_t corrupt_records_skipped = 0;
   uint32_t files_lost_to_corruption = 0;
+  // Crash-resumable recovery accounting.
+  uint64_t bytes_replayed = 0;     // stream bytes this run consumed
+  uint64_t bytes_skipped = 0;      // stream bytes fast-forwarded via catalog
+  uint32_t entries_skipped = 0;    // catalog entries proven already applied
+  uint32_t files_already_complete = 0;  // files the resume diff kept
+  uint32_t checkpoints = 0;        // CPs run at the checkpoint cadence
 };
 
 struct LogicalRestoreOutput {
@@ -90,6 +135,15 @@ struct LogicalRestoreOutput {
   LogicalRestoreStats stats;
   uint32_t level = 0;
   int64_t dump_time = 0;
+  // True when a RestoreKillHook fired: the run stopped mid-stream with no
+  // final pass and no closing consistency point.
+  bool interrupted = false;
+  // Where the kill (or the end of the stream) left the cursor.
+  uint64_t stopped_at = 0;
+  // The stream extents this run actually consumed, ascending and coalesced:
+  // the prologue plus every replayed record. A timed or remote replay needs
+  // to move exactly these bytes — the "bounded replay" guarantee.
+  std::vector<StreamRange> consumed_ranges;
 };
 
 Result<LogicalRestoreOutput> RunLogicalRestore(

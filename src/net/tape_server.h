@@ -8,13 +8,16 @@
 #ifndef BKUP_NET_TAPE_SERVER_H_
 #define BKUP_NET_TAPE_SERVER_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/block/tape.h"
 #include "src/block/tape_library.h"
+#include "src/sim/channel.h"
 #include "src/sim/environment.h"
 #include "src/util/status.h"
 
@@ -40,6 +43,37 @@ class TapeServer {
 
   size_t num_drives() const { return drives_.size(); }
   TapeDrive* drive(size_t i) { return drives_[i].get(); }
+
+  // Ranged media read, the server-side primitive of catalog-driven restores:
+  // seeks `drive` to the absolute byte `offset` (paying the reposition) and
+  // reads `length` bytes in `chunk_bytes` pieces, publishing the absolute
+  // offset reached after each piece on `progress`. The channel is left open
+  // so callers can chain ranges; *status holds the first error. Reads are
+  // idempotent, so a caller's retry can simply re-issue the remainder.
+  Task ReadRange(TapeDrive* drive, uint64_t offset, uint64_t length,
+                 uint64_t chunk_bytes, Channel<uint64_t>* progress,
+                 Status* status) {
+    Status st;
+    co_await drive->TimedSeekTo(offset, &st);
+    uint64_t pos = offset;
+    const uint64_t end = offset + length;
+    std::vector<uint8_t> scratch(chunk_bytes);
+    while (st.ok() && pos < end) {
+      const uint64_t on_tape =
+          drive->loaded() ? drive->tape()->size() - drive->position() : 0;
+      if (on_tape == 0) {
+        st = Corruption(name_ + ": media ended inside a ranged read");
+        break;
+      }
+      const uint64_t n = std::min({chunk_bytes, end - pos, on_tape});
+      co_await drive->TimedRead(std::span(scratch).first(n), &st);
+      if (st.ok()) {
+        pos += n;
+        co_await progress->Send(pos);
+      }
+    }
+    *status = st;
+  }
 
   // Instantaneous library load (tests and setup); jobs pay drive load time
   // through TimedLoadMedia as usual.

@@ -10,6 +10,7 @@
 #include "src/dump/logical_dump.h"
 #include "src/dump/logical_restore.h"
 #include "src/dump/verify.h"
+#include "src/faults/crash.h"
 #include "src/faults/fault_injector.h"
 #include "src/fs/filesystem.h"
 #include "src/image/image_dump.h"
@@ -36,16 +37,25 @@ struct RobustFixture {
     EXPECT_TRUE(PopulateFilesystem(fs.get(), params).ok());
   }
 
-  LogicalDumpOutput Dump() {
+  LogicalDumpOutput Dump(int level = 0, int64_t base_time = 0) {
     EXPECT_TRUE(fs->CreateSnapshot("snap").ok());
     auto reader = fs->SnapshotReader("snap").value();
     LogicalDumpOptions opt;
     opt.volume_name = "home";
+    opt.level = level;
+    opt.base_time = base_time;
     opt.dump_time = env.now();
     auto out = RunLogicalDump(reader, opt);
     EXPECT_TRUE(out.ok());
     EXPECT_TRUE(fs->DeleteSnapshot("snap").ok());
     return std::move(out).value();
+  }
+
+  void AdvanceTime(SimDuration d) {
+    env.Spawn([](SimEnvironment* e, SimDuration dur) -> Task {
+      co_await e->Delay(dur);
+    }(&env, d));
+    env.Run();
   }
 
   SimEnvironment env;
@@ -219,6 +229,113 @@ TEST(RestartTest, SupervisedRestoreResumesAfterFilerRestart) {
   ASSERT_TRUE(restore.report.status.ok())
       << restore.report.status.ToString();
   EXPECT_EQ(ChecksumTree((*rebooted)->LiveReader()).value(), sums);
+}
+
+TEST(RestartTest, KilledIncrementalRestoreResumesWithoutReapplying) {
+  // A restore of a level-1 incremental is killed mid-file-section, the
+  // target reboots from its last consistency point, and the resumed run
+  // must (a) skip every file the killed run already applied and (b) still
+  // converge on the source tree — deletions included.
+  RobustFixture f;
+  ASSERT_TRUE(f.fs->Mkdir("/inc", 0755).ok());
+  Rng rng(17);
+  std::vector<uint8_t> doomed(2 * kBlockSize);
+  rng.Fill(doomed);
+  auto doomed_inum = f.fs->Create("/inc/doomed.dat", 0644);
+  ASSERT_TRUE(doomed_inum.ok());
+  ASSERT_TRUE(f.fs->Write(*doomed_inum, 0, doomed).ok());
+
+  f.AdvanceTime(5 * kSecond);
+  LogicalDumpOutput level0 = f.Dump(0);
+  const int64_t level0_time = f.env.now();
+
+  // Restore level 0 to a fresh target, carrying a symtable.
+  auto volume = Volume::Create(&f.env, "r", Geometry());
+  auto target = std::move(Filesystem::Format(volume.get(), &f.env)).value();
+  RestoreSymtable symtable;
+  {
+    LogicalRestoreOptions opt;
+    opt.symtable = &symtable;
+    ASSERT_TRUE(RunLogicalRestore(target.get(), level0.stream, opt).ok());
+  }
+
+  // Mutate the source: one deletion plus a batch of new files, so the
+  // incremental has a file section worth killing in the middle of.
+  f.AdvanceTime(10 * kSecond);
+  ASSERT_TRUE(f.fs->Unlink("/inc/doomed.dat").ok());
+  for (int i = 0; i < 10; ++i) {
+    const std::string path = "/inc/f" + std::to_string(i) + ".dat";
+    auto inum = f.fs->Create(path, 0644);
+    ASSERT_TRUE(inum.ok());
+    std::vector<uint8_t> data(3 * kBlockSize);
+    rng.Fill(data);
+    ASSERT_TRUE(f.fs->Write(*inum, 0, data).ok());
+  }
+  f.AdvanceTime(5 * kSecond);
+  LogicalDumpOutput level1 = f.Dump(1, level0_time);
+  auto source_sums = ChecksumTree(f.fs->LiveReader()).value();
+  auto catalog = TapeCatalog::Load(level1.catalog_image);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+
+  // Kill the incremental restore halfway through its file section.
+  CrashPlan plan;
+  plan.seed = 23;
+  plan.KillAtOffset((catalog->directory_end() + catalog->stream_end()) / 2);
+  CrashInjector injector(plan);
+
+  LogicalRestoreOptions opt;
+  opt.symtable = &symtable;
+  opt.apply_moves_and_deletes = true;
+  opt.catalog = &*catalog;
+  opt.checkpoint_every = 2;
+  opt.kill = &injector;
+  auto killed = RunLogicalRestore(target.get(), level1.stream, opt);
+  ASSERT_TRUE(killed.ok()) << killed.status().ToString();
+  ASSERT_TRUE(killed->interrupted);
+  EXPECT_GT(killed->stats.files_restored, 0u) << "kill must land mid-files";
+  EXPECT_GT(killed->stats.checkpoints, 0u);
+
+  // Crash-reboot: drop the in-memory file system, remount the last CP.
+  target.reset();
+  auto rebooted = Filesystem::Mount(volume.get(), &f.env);
+  ASSERT_TRUE(rebooted.ok());
+
+  // Resume. The catalog diff must keep the killed run's durable files.
+  opt.resume = true;
+  auto resumed = RunLogicalRestore(rebooted->get(), level1.stream, opt);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(resumed->interrupted);
+  EXPECT_GT(resumed->stats.files_already_complete, 0u)
+      << "already-applied entries must not be re-restored";
+  EXPECT_GT(resumed->stats.entries_skipped, 0u);
+  EXPECT_GT(resumed->stats.bytes_skipped, 0u);
+  EXPECT_LT(resumed->stats.bytes_replayed, level1.stream.size())
+      << "the resumed run must replay strictly less than the whole stream";
+  // Nothing the killed run made durable is re-applied: the incremental has
+  // exactly 10 files, and the resume run recreates only those lost past the
+  // last consistency point.
+  EXPECT_EQ(
+      resumed->stats.files_restored + resumed->stats.files_already_complete,
+      10u);
+  EXPECT_LT(resumed->stats.files_restored, 10u)
+      << "resume restored every file again";
+
+  EXPECT_FALSE((*rebooted)->LookupPath("/inc/doomed.dat").ok())
+      << "deletion must propagate through the resumed incremental";
+  auto got_sums = ChecksumTree((*rebooted)->LiveReader()).value();
+  for (const auto& [path, crc] : source_sums) {
+    auto it = got_sums.find(path);
+    if (it == got_sums.end()) {
+      ADD_FAILURE() << "missing after resume: " << path;
+    } else if (it->second != crc) {
+      ADD_FAILURE() << "content differs after resume: " << path;
+    }
+  }
+  for (const auto& [path, crc] : got_sums) {
+    if (source_sums.count(path) == 0) {
+      ADD_FAILURE() << "extra after resume: " << path;
+    }
+  }
 }
 
 // ------------------------------------------------- spanning with faults ---

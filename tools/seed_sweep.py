@@ -1,14 +1,19 @@
 #!/usr/bin/env python3
-"""Reruns the scheduler property suite across extra seed blocks.
+"""Reruns a seeded gtest property suite across extra seed blocks.
 
-The compiled-in suite covers 64 random fleet configurations per block;
-`BKUP_SCHED_SEED_OFFSET` shifts the whole block, so each offset exercises a
-fresh set of fleets without a recompile. Run under ctest (label: scheduler)
-this sweeps offsets 1..8 — 512 additional configurations — over the full
-property set: determinism, no double-booking, exactly-once backup, and
-no feasible-plan misses.
+A seeded suite covers one block of random configurations per run; its
+seed-offset environment variable shifts the whole block, so each offset
+exercises a fresh set without a recompile. Run under ctest this sweeps
+offsets 1..N over the full property set.
 
-Usage: seed_sweep.py /path/to/scheduler_test [num_offsets]
+Defaults fit the scheduler suite (64 random fleet configurations per block,
+`BKUP_SCHED_SEED_OFFSET`, filter SchedulerPropertyTest.*); the recovery
+chaos soak reuses the tool with --filter/--env:
+
+  seed_sweep.py /path/to/scheduler_test [num_offsets]
+  seed_sweep.py /path/to/recovery_chaos_test 2 \\
+      --filter=RecoveryChaosTest.KilledRestoresConvergeEverywhere \\
+      --env=BKUP_RECOVERY_SEED_OFFSET
 """
 
 import os
@@ -17,11 +22,23 @@ import sys
 
 
 def main():
-    if len(sys.argv) < 2:
-        print("usage: seed_sweep.py /path/to/scheduler_test [num_offsets]")
+    args = sys.argv[1:]
+    gtest_filter = "SchedulerPropertyTest.*"
+    env_var = "BKUP_SCHED_SEED_OFFSET"
+    positional = []
+    for arg in args:
+        if arg.startswith("--filter="):
+            gtest_filter = arg[len("--filter="):]
+        elif arg.startswith("--env="):
+            env_var = arg[len("--env="):]
+        else:
+            positional.append(arg)
+    if not positional:
+        print("usage: seed_sweep.py /path/to/test_binary [num_offsets]"
+              " [--filter=PATTERN] [--env=SEED_OFFSET_VAR]")
         return 2
-    binary = sys.argv[1]
-    num_offsets = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    binary = positional[0]
+    num_offsets = int(positional[1]) if len(positional) > 1 else 8
     if not os.path.exists(binary):
         print("FAIL: test binary %r not found" % binary)
         return 1
@@ -29,10 +46,11 @@ def main():
     failures = []
     for offset in range(1, num_offsets + 1):
         env = dict(os.environ)
-        env["BKUP_SCHED_SEED_OFFSET"] = str(offset)
-        print("=== seed offset %d/%d ===" % (offset, num_offsets), flush=True)
+        env[env_var] = str(offset)
+        print("=== seed offset %d/%d (%s) ===" % (offset, num_offsets,
+                                                  env_var), flush=True)
         proc = subprocess.run(
-            [binary, "--gtest_filter=SchedulerPropertyTest.*"],
+            [binary, "--gtest_filter=" + gtest_filter],
             env=env,
         )
         if proc.returncode != 0:
@@ -41,7 +59,7 @@ def main():
     if failures:
         print("FAIL: property suite failed at seed offset(s) %s" % failures)
         return 1
-    print("seed sweep: %d offsets x 64 configurations OK" % num_offsets)
+    print("seed sweep: %d offsets of %s OK" % (num_offsets, gtest_filter))
     return 0
 
 
