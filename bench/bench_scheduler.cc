@@ -36,13 +36,18 @@ struct CellResult {
   int volumes = 0;
   SimDuration makespan = 0;
   double mean_drive_util = 0.0;
+  uint64_t deadline_misses = 0;
+  size_t health_samples = 0;       // night_health series length
+  bool misses_flagged_live = true; // every miss was called by the monitor
 };
 
 // Builds and runs one night of `num_volumes` identical image volumes over
 // `num_drives` drives. When `json_path` is non-empty the cell also writes
 // the structured bench report (jobs, utilization series, metrics).
+// `deadline` > 0 gives every volume that deadline (the uniform fleet keeps
+// queue order unchanged, so the makespan gate is unaffected).
 CellResult RunCell(int num_drives, int num_volumes,
-                   const std::string& json_path) {
+                   const std::string& json_path, SimDuration deadline = 0) {
   SimEnvironment env;
   Filer filer(&env, FilerModel::F630());
   TapeLibrary library("fleet", 64 * kMiB, 0);
@@ -67,6 +72,9 @@ CellResult RunCell(int num_drives, int num_volumes,
     spec.fs = filesystems.back().get();
     spec.mode = BackupMode::kImage;
     spec.estimated_bytes = kVolumeBytes;
+    if (deadline > 0) {
+      spec.deadline = deadline;
+    }
     specs.push_back(std::move(spec));
   }
 
@@ -101,6 +109,13 @@ CellResult RunCell(int num_drives, int num_volumes,
     cell.mean_drive_util += d.utilization;
   }
   cell.mean_drive_util /= static_cast<double>(num_drives);
+  cell.deadline_misses = report.deadline_misses;
+  cell.health_samples = report.night_health.size();
+  for (const VolumeOutcome& v : report.volumes) {
+    if (!v.deadline_met && !v.slo_flagged_live) {
+      cell.misses_flagged_live = false;
+    }
+  }
 
   if (!json_path.empty()) {
     JsonWriter w;
@@ -167,8 +182,14 @@ int Run(int argc, char** argv) {
     for (int num_volumes : {4, 8, 16}) {
       const bool json_cell =
           num_drives == 4 && num_volumes == 16 && !json_path.empty();
+      // The reported cell carries a generous uniform deadline so its JSON
+      // gains a live night_health series without perturbing queue order.
       const CellResult cell =
-          RunCell(num_drives, num_volumes, json_cell ? json_path : "");
+          RunCell(num_drives, num_volumes, json_cell ? json_path : "",
+                  json_cell ? 4 * kHour : SimDuration{0});
+      if (json_cell && (cell.health_samples == 0 || !cell.misses_flagged_live)) {
+        gate_ok = false;
+      }
       const int rounds = (num_volumes + num_drives - 1) / num_drives;
       const SimDuration bound = static_cast<SimDuration>(rounds) * t_iso;
       const double ratio = static_cast<double>(cell.makespan) /
@@ -182,10 +203,28 @@ int Run(int argc, char** argv) {
       }
     }
   }
+  // SLO-monitor consistency gate: a night engineered to miss (deadlines far
+  // tighter than the workload) must have flagged every missed volume while
+  // the night was still live — a silent miss in the report fails the bench.
+  const CellResult tight = RunCell(2, 8, "", /*deadline=*/2 * kMinute);
+  std::printf("\ntight-deadline night: %llu misses, %zu health samples, "
+              "all flagged live: %s\n",
+              static_cast<unsigned long long>(tight.deadline_misses),
+              tight.health_samples, tight.misses_flagged_live ? "yes" : "NO");
+  const bool slo_ok = tight.deadline_misses > 0 && tight.health_samples >= 2 &&
+                      tight.misses_flagged_live;
+  if (!slo_ok) {
+    gate_ok = false;
+  }
+
   std::printf("RESULT: %s\n",
               gate_ok
-                  ? "4-drive makespans within 15% of the bin-packing bound"
-                  : "SHAPE MISMATCH (scheduler left drives idle under load)");
+                  ? "4-drive makespans within 15% of the bin-packing bound; "
+                    "every deadline miss was flagged live"
+                  : !slo_ok ? "SLO MONITOR MISMATCH (a missed deadline was "
+                              "never flagged while the night ran)"
+                            : "SHAPE MISMATCH (scheduler left drives idle "
+                              "under load)");
   return gate_ok ? 0 : 1;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/backup/supervisor.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/trace.h"
 
 namespace bkup {
@@ -670,8 +671,17 @@ Task ResumableLogicalRestoreJob(Filer* filer, std::unique_ptr<Filesystem>* fs,
   const RetryPolicy& restart = (supervision != nullptr ? *supervision
                                                        : kDefaultPolicy)
                                    .restart_retry;
+  // One trace spans every incarnation: each supervised restart continues
+  // the same trace id with a bumped incarnation label.
+  TraceContext ctx;
+  if (Tracer* tracer = env->tracer()) {
+    ctx = tracer->StartTrace();
+  }
   int attempt = 0;
   while (true) {
+    ScopedTraceSpan incarnation_span(
+        env->tracer(), ("job:" + report.name).c_str(),
+        "incarnation#" + std::to_string(attempt), ctx);
     ++result->attempts;
     options.resume = attempt > 0;
     (*fs)->MarkCpCounters();
@@ -715,7 +725,16 @@ Task ResumableLogicalRestoreJob(Filer* filer, std::unique_ptr<Filesystem>* fs,
     // The process died mid-stream: reboot, remount the last consistency
     // point, back off on the restart schedule, and resume from the catalog.
     report.resume.resumes++;
-    TRACE_INSTANT(env, "faults", "restore.kill");
+    if (Tracer* tracer = env->tracer()) {
+      tracer->Instant(tracer->Track("faults"), "restore.kill", ctx);
+    }
+    if (FlightRecorder* recorder = env->flight_recorder()) {
+      recorder->RecordFault(
+          "crash", report.name,
+          "kill at offset " + std::to_string(result->restore.stopped_at) +
+              ", incarnation " + std::to_string(attempt));
+    }
+    ctx = ctx.NextIncarnation();
     ++attempt;
     if (attempt >= restart.max_attempts) {
       report.status = Exhausted("restore restart budget exhausted");
@@ -736,6 +755,28 @@ Task ResumableLogicalRestoreJob(Filer* filer, std::unique_ptr<Filesystem>* fs,
 
   report.end_time = env->now();
   report.cpu_busy_end = filer->cpu().BusyIntegral();
+  // Chaos-kill black box: a run that had to resume leaves a flight record
+  // whose kill points and replayed-range stats mirror JobReport.resume.
+  if (FlightRecorder* recorder = env->flight_recorder();
+      recorder != nullptr && report.resume.resumes > 0) {
+    recorder->AddStateProvider("resumable_restore", [&](JsonWriter* w) {
+      w->BeginObject()
+          .Field("job", report.name)
+          .Field("attempts", static_cast<uint64_t>(result->attempts))
+          .Field("resumes", report.resume.resumes)
+          .Field("bytes_replayed", report.resume.bytes_replayed)
+          .Field("bytes_skipped", report.resume.bytes_skipped)
+          .Field("entries_skipped", report.resume.entries_skipped)
+          .Field("checkpoints", report.resume.checkpoints)
+          .Field("status_ok", report.status.ok())
+          .EndObject();
+    });
+    const Status dumped = recorder->Dump("restore_resume");
+    if (!dumped.ok() && report.status.ok()) {
+      report.status = dumped;
+    }
+    recorder->RemoveStateProvider("resumable_restore");
+  }
   done->CountDown();
 }
 

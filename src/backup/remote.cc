@@ -23,14 +23,24 @@ class StreamSession {
  public:
   StreamSession(SimEnvironment* env, NetLink* link, std::string name,
                 std::span<const uint8_t> stream, const SupervisionPolicy* sup,
-                JobReport* report)
+                JobReport* report, std::string server_node = "tape-server")
       : env_(env),
         link_(link),
         name_(std::move(name)),
+        server_node_(std::move(server_node)),
         stream_(stream),
         sup_(sup),
         report_(report),
-        conn_feed_(env, 16) {}
+        conn_feed_(env, 16) {
+    // One causal trace for the whole session: every connection, frame and
+    // reconnect incarnation shares this id (no-op without a tracer).
+    if (Tracer* tracer = env_->tracer()) {
+      ctx_ = tracer->StartTrace();
+    }
+  }
+
+  // The session's causal identity; incarnation climbs with each reconnect.
+  const TraceContext& ctx() const { return ctx_; }
 
   // Opens the first connection; call (and await) before Send.
   Task Start() { co_await Connect(); }
@@ -79,6 +89,7 @@ class StreamSession {
   Task Connect() {
     conns_.push_back(std::make_unique<StreamConn>(
         link_, name_ + "#" + std::to_string(conns_.size())));
+    conns_.back()->EnableTracing(ctx_, "filer", server_node_);
     co_await conn_feed_.Send(conns_.back().get());
   }
 
@@ -86,7 +97,9 @@ class StreamSession {
   Task RecoverOnce(Status* st) {
     StreamConn* old = conns_.back().get();
     ++report_->faults.link_errors;
-    TRACE_INSTANT(env_, "faults", "link.error");
+    if (Tracer* tracer = env_->tracer()) {
+      tracer->Instant(tracer->Track("faults"), "link.error", ctx_);
+    }
     Status drain;  // already failed; we only need the in-flight frames done
     co_await old->Drain(&drain);
     old->CloseSend();
@@ -94,7 +107,12 @@ class StreamSession {
     ++attempts_;
     co_await env_->Delay(sup_->link_retry.BackoffBefore(attempts_));
     ++report_->faults.link_reconnects;
-    TRACE_INSTANT(env_, "faults", "link.reconnect");
+    // The fresh connection is a new incarnation of the same trace: its
+    // spans and frames stay under one trace id, labeled with the count.
+    ctx_ = ctx_.NextIncarnation();
+    if (Tracer* tracer = env_->tracer()) {
+      tracer->Instant(tracer->Track("faults"), "link.reconnect", ctx_);
+    }
     report_->faults.link_bytes_resent += hwm_ - acked_floor_;
     co_await Connect();
     *st = Status::Ok();
@@ -107,6 +125,8 @@ class StreamSession {
   SimEnvironment* env_;
   NetLink* link_;
   std::string name_;
+  std::string server_node_;
+  TraceContext ctx_;
   std::span<const uint8_t> stream_;
   const SupervisionPolicy* sup_;
   JobReport* report_;
@@ -126,7 +146,8 @@ Task NetSenderProc(Filer* filer, StreamSession* session,
                    Channel<StreamChunk>* chunks, const std::string& track,
                    JobReport* report, SimEvent* sender_done) {
   SimEnvironment* env = filer->env();
-  ScopedTraceSpan span(env->tracer(), track.c_str(), "stream");
+  ScopedTraceSpan span(env->tracer(), track.c_str(), "stream",
+                       session->ctx());
   bool failed = false;
   while (true) {
     std::optional<StreamChunk> chunk = co_await chunks->Recv();
@@ -168,8 +189,14 @@ Task RemoteTapeWriterProc(Filer* filer, RemoteTarget target,
                           std::span<const uint8_t> stream,
                           Channel<StreamConn*>* conn_feed,
                           uint64_t chunk_bytes, JobReport* report,
-                          SimEvent* writer_done) {
+                          SimEvent* writer_done, std::string server_node,
+                          TraceContext ctx) {
   SimEnvironment* env = filer->env();
+  // This coroutine *is* the server: its span lives on the server's process
+  // row, under the same trace id as the filer-side spans and the frames.
+  ScopedTraceSpan srv_span(env->tracer(), server_node,
+                           ("srv:" + report->name).c_str(), "tape.write",
+                           ctx);
   TapeDrive* tape = target.drive;
   size_t next_spare = 0;
   uint64_t media_start = 0;
@@ -228,8 +255,11 @@ Task RemoteTapeWriterProc(Filer* filer, RemoteTarget target,
 Task RemoteTapeReaderProc(Filer* filer, RemoteTarget target,
                           uint64_t total_bytes, uint64_t chunk_bytes,
                           StreamSession* session, JobReport* report,
-                          SimEvent* reader_done) {
+                          SimEvent* reader_done, std::string server_node) {
   SimEnvironment* env = filer->env();
+  ScopedTraceSpan srv_span(env->tracer(), server_node,
+                           ("srv:" + report->name).c_str(), "tape.read",
+                           session->ctx());
   TapeDrive* tape = target.drive;
   std::vector<uint8_t> scratch(chunk_bytes);
   size_t next_spare = 0;
@@ -299,9 +329,9 @@ Task RemoteTapeReaderProc(Filer* filer, RemoteTarget target,
 Task ReadRangeAndClose(TapeServer* server, TapeDrive* drive, uint64_t offset,
                        uint64_t length, uint64_t chunk_bytes,
                        Channel<uint64_t>* progress, Status* status,
-                       SimEvent* done) {
+                       SimEvent* done, TraceContext ctx) {
   co_await server->ReadRange(drive, offset, length, chunk_bytes, progress,
-                             status);
+                             status, ctx);
   progress->Close();
   done->Notify();
 }
@@ -330,7 +360,7 @@ Task RangedRemoteTapeReaderProc(Filer* filer, RemoteTarget target,
       SimEvent range_done(env);
       env->Spawn(ReadRangeAndClose(target.server, tape, floor, r.end - floor,
                                    chunk_bytes, &progress, &read_st,
-                                   &range_done));
+                                   &range_done, session->ctx()));
       while (true) {
         std::optional<uint64_t> watermark = co_await progress.Recv();
         if (!watermark.has_value()) {
@@ -409,15 +439,18 @@ Task ReplayToNet(ReplayConfig cfg, RemoteTarget target, const IoTrace* trace,
                  CountdownLatch* done) {
   SimEnvironment* env = cfg.filer->env();
   const std::string track = "net:" + target.link->name();
+  const std::string server_node =
+      target.server != nullptr ? target.server->name() : "tape-server";
   StreamSession session(env, target.link, report->name, stream,
-                        target.supervision, report);
+                        target.supervision, report, server_node);
   co_await session.Start();
 
   Channel<StreamChunk> chunks(env, cfg.pipeline_depth);
   SimEvent writer_done(env);
   SimEvent sender_done(env);
   env->Spawn(RemoteTapeWriterProc(cfg.filer, target, stream, &session.conns(),
-                                  cfg.chunk_bytes, report, &writer_done));
+                                  cfg.chunk_bytes, report, &writer_done,
+                                  server_node, session.ctx()));
   env->Spawn(NetSenderProc(cfg.filer, &session, &chunks, track, report,
                            &sender_done));
 
@@ -438,14 +471,16 @@ Task ReplayFromNet(ReplayConfig cfg, RemoteTarget target, const IoTrace* trace,
                    std::span<const uint8_t> stream, JobReport* report,
                    CountdownLatch* done) {
   SimEnvironment* env = cfg.filer->env();
+  const std::string server_node =
+      target.server != nullptr ? target.server->name() : "tape-server";
   StreamSession session(env, target.link, report->name, stream,
-                        target.supervision, report);
+                        target.supervision, report, server_node);
   co_await session.Start();
 
   SimEvent reader_done(env);
   env->Spawn(RemoteTapeReaderProc(cfg.filer, target, stream.size(),
                                   cfg.chunk_bytes, &session, report,
-                                  &reader_done));
+                                  &reader_done, server_node));
   Channel<uint64_t> watermarks(env, cfg.pipeline_depth);
   env->Spawn(WatermarkAdapter(&session.conns(), &watermarks));
 
@@ -469,8 +504,10 @@ Task ReplayFromNetRanges(ReplayConfig cfg, RemoteTarget target,
   for (const StreamRange& r : ranges) {
     moved += r.size();
   }
+  const std::string server_node =
+      target.server != nullptr ? target.server->name() : "tape-server";
   StreamSession session(env, target.link, report->name, stream,
-                        target.supervision, report);
+                        target.supervision, report, server_node);
   co_await session.Start();
 
   SimEvent reader_done(env);

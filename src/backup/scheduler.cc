@@ -7,6 +7,7 @@
 #include <numeric>
 #include <optional>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/json.h"
 
 namespace bkup {
@@ -276,6 +277,7 @@ std::string NightPlan::Serialize(
 
 struct NightlyScheduler::Completion {
   bool timer = false;
+  bool health = false;  // timer tick that samples SLO health, no rescan
   size_t vol = 0;
   int attempt = 0;
   std::vector<int> drive_idx;
@@ -288,10 +290,11 @@ struct NightlyScheduler::Completion {
 };
 
 Task NightlyScheduler::Waker(SimDuration delay,
-                             Channel<Completion>* completions) {
+                             Channel<Completion>* completions, bool health) {
   co_await filer_->env()->Delay(delay);
   Completion tick;
   tick.timer = true;
+  tick.health = health;
   co_await completions->Send(std::move(tick));
 }
 
@@ -443,6 +446,25 @@ Task NightlyScheduler::Run(NightReport* report, CountdownLatch* done) {
   std::vector<bool> busy(ndrv, false);
   std::vector<bool> healthy(ndrv, true);
   std::vector<std::vector<size_t>> open_grants(nvol);
+  // Tape head position at grant time, parallel to report->grants: an open
+  // grant's live progress is the drive's position delta since its start.
+  std::vector<uint64_t> grant_start_pos;
+
+  // The night's SLO monitor: one objective per volume, sampled on a timer
+  // (FleetConfig::health_sample_period). It listens for span completions
+  // when a tracer is attached, so per-phase latency objectives feed off the
+  // same instrumentation as the trace export.
+  SloMonitor monitor(env);
+  monitor.set_default_rate_mb_s(config_.planning_mb_per_s);
+  for (size_t v = 0; v < nvol; ++v) {
+    monitor.Register(volumes_[v].name, volumes_[v].deadline,
+                     volumes_[v].estimated_bytes);
+  }
+  Tracer* tracer = env->tracer();
+  if (tracer != nullptr) {
+    tracer->set_span_listener(&monitor);
+  }
+  std::vector<bool> breach_dumped(nvol, false);
 
   std::vector<size_t> pending(nvol);
   std::iota(pending.begin(), pending.end(), size_t{0});
@@ -452,6 +474,40 @@ Task NightlyScheduler::Run(NightReport* report, CountdownLatch* done) {
   Channel<Completion> completions(env, nvol + 8);
   size_t running = 0;
   size_t wakers = 0;
+
+  // Publish live queue state to the flight recorder (if one is attached)
+  // for the duration of the night; a dump mid-night shows who was running,
+  // who was parked and which drives were condemned.
+  FlightRecorder* recorder = env->flight_recorder();
+  if (recorder != nullptr) {
+    recorder->AddStateProvider("scheduler_queue", [&](JsonWriter* w) {
+      w->BeginObject();
+      w->Field("running", static_cast<uint64_t>(running));
+      w->Key("pending").BeginArray();
+      for (size_t v : pending) {
+        w->String(volumes_[v].name);
+      }
+      w->EndArray();
+      w->Key("drives").BeginArray();
+      for (size_t d = 0; d < ndrv; ++d) {
+        w->BeginObject()
+            .Field("name", config_.drives[d]->name())
+            .Field("busy", static_cast<bool>(busy[d]))
+            .Field("healthy", static_cast<bool>(healthy[d]))
+            .EndObject();
+      }
+      w->EndArray();
+      w->EndObject();
+    });
+  }
+
+  // First health sample fires one period in; re-armed after every tick
+  // while work remains.
+  if (config_.health_sample_period > 0) {
+    env->Spawn(Waker(config_.health_sample_period, &completions,
+                     /*health=*/true));
+    ++wakers;
+  }
 
   // Deadline-fallback boundaries are the one dispatch trigger that is not a
   // completion: an affinity-waiter becomes willing to take any drive when
@@ -473,6 +529,8 @@ Task NightlyScheduler::Run(NightReport* report, CountdownLatch* done) {
   };
 
   // Finishes `v` without a successful job: terminal failure bookkeeping.
+  // The failure is a black-box moment — dump the flight recorder so the
+  // queue state and fault ring at the point of no return are preserved.
   auto fail_volume = [&](size_t v, Status st) {
     VolumeOutcome& out = report->volumes[v];
     out.status = std::move(st);
@@ -482,6 +540,39 @@ Task NightlyScheduler::Run(NightReport* report, CountdownLatch* done) {
     m_misses->Increment();
     if (report->status.ok()) {
       report->status = out.status;
+    }
+    monitor.Complete(volumes_[v].name, /*ok=*/false);
+    if (recorder != nullptr) {
+      (void)recorder->Dump("job_failure");
+    }
+  };
+
+  // Reads live progress off the tape heads and appends one health sample;
+  // a fresh breach (deadline passed with the volume still unfinished)
+  // triggers a flight-recorder dump exactly once per volume.
+  auto sample_health = [&]() {
+    for (size_t v = 0; v < nvol; ++v) {
+      if (open_grants[v].empty()) {
+        continue;
+      }
+      uint64_t done_bytes = 0;
+      for (size_t g : open_grants[v]) {
+        const DriveGrant& grant = report->grants[g];
+        const uint64_t pos = config_.drives[grant.drive]->position();
+        if (pos > grant_start_pos[g]) {
+          done_bytes += pos - grant_start_pos[g];
+        }
+      }
+      monitor.ReportProgress(volumes_[v].name, done_bytes);
+    }
+    const SloHealthSample& sample = monitor.Sample();
+    for (size_t v = 0; v < nvol && v < sample.entries.size(); ++v) {
+      if (sample.entries[v].breached && !breach_dumped[v]) {
+        breach_dumped[v] = true;
+        if (recorder != nullptr) {
+          (void)recorder->Dump("slo_breach");
+        }
+      }
     }
   };
 
@@ -631,6 +722,7 @@ Task NightlyScheduler::Run(NightReport* report, CountdownLatch* done) {
           open_grants[v].push_back(report->grants.size());
           report->grants.push_back(DriveGrant{v, vs[v].attempts, d,
                                               env->now(), 0, backfill});
+          grant_start_pos.push_back(config_.drives[d]->position());
         }
         env->Spawn(RunOne(v, vs[v].attempts, take, std::move(primaries),
                           std::move(spares),
@@ -649,6 +741,17 @@ Task NightlyScheduler::Run(NightReport* report, CountdownLatch* done) {
     Completion c = std::move(*recvd);
     if (c.timer) {
       --wakers;
+      if (c.health) {
+        // Health ticks are read-only: sample, re-arm, and never rescan the
+        // queue — a night with the monitor disabled dispatches identically.
+        sample_health();
+        if (running > 0 || !pending.empty()) {
+          env->Spawn(Waker(config_.health_sample_period, &completions,
+                           /*health=*/true));
+          ++wakers;
+        }
+        continue;
+      }
       try_dispatch();
       continue;
     }
@@ -691,6 +794,7 @@ Task NightlyScheduler::Run(NightReport* report, CountdownLatch* done) {
       out.part_media = c.part_media;
       out.report = c.merged;
       out.deadline_met = env->now() <= spec.deadline;
+      monitor.Complete(spec.name, /*ok=*/true);
       if (out.deadline_met) {
         ++report->deadline_hits;
         m_hits->Increment();
@@ -746,6 +850,24 @@ Task NightlyScheduler::Run(NightReport* report, CountdownLatch* done) {
                        static_cast<double>(
                            config_.drives[d]->unit().capacity() * span)
                  : 0.0;
+  }
+
+  // Final SLO accounting: one closing sample so the series ends at the
+  // night's end, then publish the history and per-volume verdicts.
+  if (config_.health_sample_period > 0) {
+    sample_health();
+  }
+  report->night_health = monitor.history();
+  report->slo_breaches = monitor.breaches();
+  for (size_t v = 0; v < nvol; ++v) {
+    report->volumes[v].slo_flagged_live =
+        monitor.WasFlaggedLive(volumes_[v].name);
+  }
+  if (recorder != nullptr) {
+    recorder->RemoveStateProvider("scheduler_queue");
+  }
+  if (tracer != nullptr) {
+    tracer->set_span_listener(nullptr);
   }
 
   // Drain outstanding deadline ticks so their channel pointer stays valid.
@@ -808,7 +930,14 @@ void NightReport::WriteJson(JsonWriter* w) const {
   w->Field("reassignments", reassignments);
   w->Field("drives_failed", drives_failed);
   w->Field("link_budget_waits", link_budget_waits);
+  w->Field("slo_breaches", slo_breaches);
   w->EndObject();
+
+  w->Key("night_health").BeginArray();
+  for (const SloHealthSample& sample : night_health) {
+    WriteHealthSample(w, sample);
+  }
+  w->EndArray();
 
   w->Key("volumes").BeginArray();
   for (const VolumeOutcome& v : volumes) {
@@ -819,6 +948,7 @@ void NightReport::WriteJson(JsonWriter* w) const {
     w->Field("attempts", static_cast<int64_t>(v.attempts));
     w->Field("backfilled", v.backfilled);
     w->Field("deadline_met", v.deadline_met);
+    w->Field("slo_flagged_live", v.slo_flagged_live);
     w->Field("wait_s", SimToSeconds(v.wait));
     w->Field("started_s", SimToSeconds(v.started));
     w->Field("finished_s", SimToSeconds(v.finished));

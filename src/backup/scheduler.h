@@ -50,6 +50,7 @@
 #include "src/backup/supervisor.h"
 #include "src/block/tape_library.h"
 #include "src/net/link.h"
+#include "src/obs/slo.h"
 #include "src/sim/channel.h"
 
 namespace bkup {
@@ -105,6 +106,11 @@ struct FleetConfig {
   NetLink* link = nullptr;
   TapeServer* server = nullptr;
   LinkBudget* budget = nullptr;
+  // Live SLO sampling cadence: every period the night's SloMonitor reads
+  // drive progress, projects each volume's ETA and appends a
+  // `night_health` sample to the report. 0 disables the monitor. Sampling
+  // is read-only — it never changes a dispatch decision.
+  SimDuration health_sample_period = 30 * kSecond;
 };
 
 // One drive grant in the static plan (BuildPlan) — volume k starts on
@@ -147,6 +153,9 @@ struct VolumeOutcome {
   SimTime started = -1;      // dispatch of the final attempt
   SimTime finished = -1;
   SimDuration wait = 0;      // first dispatch - enqueue (queueing delay)
+  // The live monitor called this volume at-risk or breached while the night
+  // was still running — a missed deadline with this false was silent.
+  bool slo_flagged_live = false;
   std::vector<int> drives_used;                 // final attempt, pool indices
   std::vector<std::vector<std::string>> part_media;  // final media per part
   JobReport report;  // merged report of the final attempt
@@ -170,6 +179,11 @@ struct NightReport {
   uint64_t reassignments = 0;   // volume re-dispatches after a failed attempt
   uint64_t drives_failed = 0;
   uint64_t link_budget_waits = 0;  // dispatches deferred by the link budget
+  // Periodic SLO health readings taken while the night ran (see
+  // FleetConfig::health_sample_period) plus the monitor's final breach
+  // count; the bench gate cross-checks these against deadline outcomes.
+  std::vector<SloHealthSample> night_health;
+  uint64_t slo_breaches = 0;
   SimTime night_start = 0;
   SimTime night_end = 0;
   Status status;  // first hard failure (a volume out of attempts), else OK
@@ -217,7 +231,9 @@ class NightlyScheduler {
               uint64_t link_reservation, Channel<Completion>* completions);
   // Fires a rescan of the dispatch queue at now + delay (deadline-fallback
   // boundaries are the only dispatch triggers that are not completions).
-  Task Waker(SimDuration delay, Channel<Completion>* completions);
+  // With `health` set the tick instead takes an SLO health sample.
+  Task Waker(SimDuration delay, Channel<Completion>* completions,
+             bool health = false);
 
   Filer* filer_;
   FleetConfig config_;

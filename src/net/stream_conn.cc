@@ -19,6 +19,19 @@ StreamConn::StreamConn(NetLink* link, std::string name)
   assert(link->params().mtu_bytes > 0);
 }
 
+void StreamConn::EnableTracing(const TraceContext& ctx,
+                               const std::string& sender_node,
+                               const std::string& receiver_node) {
+  ctx_ = ctx;
+  tracer_ = env_->tracer();
+  if (tracer_ == nullptr) {
+    return;
+  }
+  flow_base_ = tracer_->ReserveFlowIds();
+  tx_track_ = tracer_->Track(name_ + ".tx", tracer_->Process(sender_node));
+  rx_track_ = tracer_->Track(name_ + ".rx", tracer_->Process(receiver_node));
+}
+
 void StreamConn::EnsurePump() {
   if (!pump_started_) {
     pump_started_ = true;
@@ -50,6 +63,8 @@ Task StreamConn::SendRange(std::span<const uint8_t> stream, uint64_t begin,
     frame.end = cursor + n;
     frame.tag = tag;
     frame.crc = Crc32c(payload);
+    frame.trace_id = ctx_.trace_id;
+    frame.incarnation = ctx_.incarnation;
     ++stats_.frames_sent;
     env_->Spawn(TransferFrame(frame, payload));
     cursor += n;
@@ -60,6 +75,11 @@ Task StreamConn::SendRange(std::span<const uint8_t> stream, uint64_t begin,
 Task StreamConn::TransferFrame(StreamFrame frame,
                                std::span<const uint8_t> payload) {
   const LinkParams& p = link_->params();
+  if (tracer_ != nullptr) {
+    // Arrow tail at first transmission; retransmits keep the same id, so a
+    // lossy frame's arrow spans first-send -> eventual delivery.
+    tracer_->FlowStart(tx_track_, flow_base_ | frame.seq, "frame", ctx_);
+  }
   int attempt = 0;
   while (error_.ok()) {
     ++attempt;
@@ -129,6 +149,9 @@ Task StreamConn::Pump() {
       ++stats_.frames_delivered;
       stats_.bytes_delivered += ready.end - ready.begin;
       acked_ = std::max(acked_, ready.end);
+      if (tracer_ != nullptr) {
+        tracer_->FlowEnd(rx_track_, flow_base_ | ready.seq, "frame", ctx_);
+      }
       co_await out_.Send(ready);
       it = reorder_.find(next_deliver_seq_);
     }

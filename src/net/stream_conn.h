@@ -26,6 +26,7 @@
 #include <string>
 
 #include "src/net/link.h"
+#include "src/obs/trace.h"
 #include "src/sim/channel.h"
 #include "src/sim/resource.h"
 #include "src/sim/task.h"
@@ -34,6 +35,9 @@
 namespace bkup {
 
 // Per-frame protocol overhead charged to the wire (headers + checksum).
+// The budget already covers the 12-byte trace context (8-byte trace id +
+// 4-byte incarnation) that `EnableTracing` stamps on every frame, so
+// turning tracing on changes no wire timing.
 inline constexpr uint64_t kFrameHeaderBytes = 32;
 
 // One frame as the receiver sees it: stream bytes [begin, end), a sender
@@ -47,6 +51,10 @@ struct StreamFrame {
   uint32_t tag = 0;
   uint32_t crc = 0;
   uint32_t wire_crc = 0;
+  // Causal trace context carried in the frame header (see kFrameHeaderBytes):
+  // the receiver's node continues the sender's trace without a side channel.
+  uint64_t trace_id = 0;
+  uint32_t incarnation = 0;
 };
 
 struct ConnStats {
@@ -67,6 +75,14 @@ class StreamConn {
 
   const std::string& name() const { return name_; }
   NetLink* link() const { return link_; }
+
+  // Enables cross-node tracing: every frame carries `ctx` in its header,
+  // and each frame draws a flow arrow (Chrome "s"/"f") from this
+  // connection's tx track on `sender_node`'s process row to its rx track on
+  // `receiver_node`'s. No-op when the environment has no tracer attached.
+  void EnableTracing(const TraceContext& ctx, const std::string& sender_node,
+                     const std::string& receiver_node);
+  const TraceContext& trace_context() const { return ctx_; }
 
   // ----------------------------------------------------------- sender ---
 
@@ -115,6 +131,11 @@ class StreamConn {
   uint64_t acked_ = 0;
   bool pump_started_ = false;
   bool close_requested_ = false;
+  TraceContext ctx_;
+  Tracer* tracer_ = nullptr;  // set by EnableTracing; null = no flow events
+  uint32_t tx_track_ = 0;
+  uint32_t rx_track_ = 0;
+  uint64_t flow_base_ = 0;
   Status error_;
   ConnStats stats_;
 };

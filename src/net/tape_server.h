@@ -17,6 +17,7 @@
 
 #include "src/block/tape.h"
 #include "src/block/tape_library.h"
+#include "src/obs/trace.h"
 #include "src/sim/channel.h"
 #include "src/sim/environment.h"
 #include "src/util/status.h"
@@ -50,9 +51,13 @@ class TapeServer {
   // offset reached after each piece on `progress`. The channel is left open
   // so callers can chain ranges; *status holds the first error. Reads are
   // idempotent, so a caller's retry can simply re-issue the remainder.
+  // With a tracer attached and a valid `ctx`, the read runs under a span on
+  // this server's process row, continuing the caller's cross-node trace.
   Task ReadRange(TapeDrive* drive, uint64_t offset, uint64_t length,
                  uint64_t chunk_bytes, Channel<uint64_t>* progress,
-                 Status* status) {
+                 Status* status, TraceContext ctx = {}) {
+    ScopedTraceSpan span(env_->tracer(), name_,
+                         ("srv:" + name_).c_str(), "read.range", ctx);
     Status st;
     co_await drive->TimedSeekTo(offset, &st);
     uint64_t pos = offset;

@@ -1,0 +1,175 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/obs/trace.h"
+
+namespace bkup {
+
+FlightRecorder::FlightRecorder(SimEnvironment* env, std::string dir,
+                               MetricsRegistry* metrics,
+                               size_t fault_capacity)
+    : env_(env),
+      dir_(std::move(dir)),
+      metrics_(metrics),
+      fault_capacity_(fault_capacity > 0 ? fault_capacity : 1) {
+  env_->set_flight_recorder(this);
+  MarkMetricsBaseline();
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (env_->flight_recorder() == this) {
+    env_->set_flight_recorder(nullptr);
+  }
+}
+
+void FlightRecorder::RecordFault(std::string kind, std::string target,
+                                 std::string detail) {
+  if (faults_.size() >= fault_capacity_) {
+    faults_.pop_front();
+    ++faults_dropped_;
+  }
+  faults_.push_back(FlightFaultEvent{env_->now(), std::move(kind),
+                                     std::move(target), std::move(detail)});
+}
+
+void FlightRecorder::AddStateProvider(const std::string& name,
+                                      StateProvider provider) {
+  RemoveStateProvider(name);
+  providers_.emplace_back(name, std::move(provider));
+}
+
+void FlightRecorder::RemoveStateProvider(const std::string& name) {
+  providers_.erase(
+      std::remove_if(providers_.begin(), providers_.end(),
+                     [&](const auto& p) { return p.first == name; }),
+      providers_.end());
+}
+
+void FlightRecorder::MarkMetricsBaseline() {
+  baseline_ = metrics_ != nullptr
+                  ? metrics_->CounterSnapshot()
+                  : std::vector<std::pair<std::string, uint64_t>>{};
+}
+
+std::string FlightRecorder::SnapshotJson(const std::string& reason) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("reason", reason);
+  w.Field("seq", dumps_);
+  w.Field("sim_time_s", SimToSeconds(env_->now()));
+
+  // Last-N fault/crash injections, oldest first.
+  w.Key("faults").BeginObject();
+  w.Field("dropped", faults_dropped_);
+  w.Key("events").BeginArray();
+  for (const FlightFaultEvent& f : faults_) {
+    w.BeginObject()
+        .Field("t_s", SimToSeconds(f.ts))
+        .Field("kind", f.kind)
+        .Field("target", f.target)
+        .Field("detail", f.detail)
+        .EndObject();
+  }
+  w.EndArray().EndObject();
+
+  // What moved since the baseline: counters with a nonzero delta, plus the
+  // absolute value for orientation.
+  w.Key("metrics").BeginObject();
+  w.Key("counter_deltas").BeginArray();
+  if (metrics_ != nullptr) {
+    const auto now_snap = metrics_->CounterSnapshot();
+    size_t bi = 0;
+    for (const auto& [key, value] : now_snap) {
+      while (bi < baseline_.size() && baseline_[bi].first < key) {
+        ++bi;
+      }
+      const uint64_t base =
+          (bi < baseline_.size() && baseline_[bi].first == key)
+              ? baseline_[bi].second
+              : 0;
+      if (value == base) {
+        continue;
+      }
+      w.BeginObject()
+          .Field("name", key)
+          .Field("value", value)
+          .Field("delta", value - base)
+          .EndObject();
+    }
+  }
+  w.EndArray().EndObject();
+
+  // Tail of the trace ring: the last moments before the dump, plus the
+  // ring's drop counter so truncation is visible here too.
+  w.Key("trace").BeginObject();
+  const Tracer* tracer = env_->tracer();
+  if (tracer != nullptr) {
+    w.Field("attached", true);
+    w.Field("dropped_events", tracer->dropped());
+    w.Key("tail").BeginArray();
+    const auto& ring = tracer->events();
+    const size_t tail =
+        std::min<size_t>(kDefaultTraceTail, ring.size());
+    for (size_t i = ring.size() - tail; i < ring.size(); ++i) {
+      const TraceEvent& e = ring[i];
+      const char* kind = "?";
+      switch (e.kind) {
+        case TraceEvent::Kind::kBegin: kind = "B"; break;
+        case TraceEvent::Kind::kEnd: kind = "E"; break;
+        case TraceEvent::Kind::kInstant: kind = "i"; break;
+        case TraceEvent::Kind::kCounter: kind = "C"; break;
+        case TraceEvent::Kind::kFlowStart: kind = "s"; break;
+        case TraceEvent::Kind::kFlowEnd: kind = "f"; break;
+      }
+      w.BeginObject()
+          .Field("ph", kind)
+          .Field("track", tracer->track_name(e.track))
+          .Field("t_s", SimToSeconds(e.ts))
+          .Field("name", e.name);
+      if (e.trace_id != 0) {
+        w.Field("trace", e.trace_id)
+            .Field("incarnation", static_cast<uint64_t>(e.incarnation));
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+  } else {
+    w.Field("attached", false);
+    w.Field("dropped_events", uint64_t{0});
+    w.Key("tail").BeginArray().EndArray();
+  }
+  w.EndObject();
+
+  // Live state, polled now.
+  w.Key("state").BeginObject();
+  for (const auto& [name, provider] : providers_) {
+    w.Key(name);
+    provider(&w);
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return w.Take();
+}
+
+Status FlightRecorder::Dump(const std::string& reason) {
+  const std::string json = SnapshotJson(reason);
+  std::string path = dir_ + "/flightrec_" + reason + "_" +
+                     std::to_string(dumps_) + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return IoError("cannot open flight record '" + path + "' for writing");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return IoError("short write to flight record '" + path + "'");
+  }
+  ++dumps_;
+  last_path_ = std::move(path);
+  return Status::Ok();
+}
+
+}  // namespace bkup

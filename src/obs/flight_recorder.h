@@ -1,0 +1,105 @@
+// Crash flight recorder: the simulation's black box.
+//
+// A chaos-soak failure used to leave nothing behind but a test log — the
+// fault that tripped it, the scheduler's queue at the moment it happened
+// and the tail of the trace ring were all gone by the time anyone looked.
+// The `FlightRecorder` keeps exactly that evidence. It attaches to a
+// `SimEnvironment` (like the tracer: one pointer, null-checked at every
+// site), passively accumulates the last-N fault/crash injections, and on
+// demand — job failure, SLO breach, chaos kill — snapshots everything it
+// knows into one `flightrec_<reason>_<seq>.json`:
+//
+//   - the recorded fault/crash ring (kind, device, detail, sim time),
+//   - counter deltas since the baseline (what moved during the flight),
+//   - the tail of the trace ring plus its dropped-events count,
+//   - every registered state provider (scheduler queue, resume stats, ...)
+//     polled live at dump time.
+//
+// Determinism: filenames are sequenced, timestamps are simulated, and no
+// wall clock or randomness is consulted — the same seed produces a
+// byte-identical black box, so a flight record is a *replayable* artifact,
+// not just a post-mortem one. See DESIGN.md §14.
+#ifndef BKUP_OBS_FLIGHT_RECORDER_H_
+#define BKUP_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/sim/environment.h"
+#include "src/util/status.h"
+
+namespace bkup {
+
+// One recorded injection or crash consult.
+struct FlightFaultEvent {
+  SimTime ts = 0;
+  std::string kind;    // "disk", "tape", "link", "crash", ...
+  std::string target;  // device / link / job name
+  std::string detail;  // free-form: offset, incarnation, fault flavor
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultFaultCapacity = 256;
+  static constexpr size_t kDefaultTraceTail = 64;
+
+  // Attaches to `env` (becomes `env->flight_recorder()`); detaches on
+  // destruction. Dumps are written under `dir`. The metrics baseline for
+  // delta reporting is captured now (re-capture with MarkMetricsBaseline).
+  explicit FlightRecorder(SimEnvironment* env, std::string dir = ".",
+                          MetricsRegistry* metrics = &MetricsRegistry::Default(),
+                          size_t fault_capacity = kDefaultFaultCapacity);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  SimEnvironment* env() const { return env_; }
+
+  // Appends to the bounded fault ring (oldest dropped, counted).
+  void RecordFault(std::string kind, std::string target, std::string detail);
+
+  // Live-state callbacks polled at dump time, keyed by name. Providers must
+  // emit exactly one JSON value. Register for the duration of the state's
+  // lifetime and remove before it dies.
+  using StateProvider = std::function<void(JsonWriter*)>;
+  void AddStateProvider(const std::string& name, StateProvider provider);
+  void RemoveStateProvider(const std::string& name);
+
+  // Re-captures the counter baseline; deltas in later dumps are relative
+  // to this point.
+  void MarkMetricsBaseline();
+
+  // Writes flightrec_<reason>_<seq>.json under dir; `last_path()` names
+  // the file on success.
+  Status Dump(const std::string& reason);
+  // The snapshot body without touching the filesystem (tests, embedding).
+  std::string SnapshotJson(const std::string& reason);
+
+  uint64_t dumps_written() const { return dumps_; }
+  const std::string& last_path() const { return last_path_; }
+  size_t fault_event_count() const { return faults_.size(); }
+  uint64_t faults_dropped() const { return faults_dropped_; }
+  const std::deque<FlightFaultEvent>& fault_events() const { return faults_; }
+
+ private:
+  SimEnvironment* env_;
+  std::string dir_;
+  MetricsRegistry* metrics_;
+  size_t fault_capacity_;
+  std::deque<FlightFaultEvent> faults_;
+  uint64_t faults_dropped_ = 0;
+  std::vector<std::pair<std::string, StateProvider>> providers_;
+  std::vector<std::pair<std::string, uint64_t>> baseline_;
+  uint64_t dumps_ = 0;
+  std::string last_path_;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_OBS_FLIGHT_RECORDER_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/stats.h"
+
 namespace bkup {
 
 Histogram::Histogram(HistogramOptions options) : options_(options) {
@@ -65,17 +67,8 @@ double Histogram::Percentile(double fraction) const {
   if (count_ == 0) {
     return 0.0;
   }
-  fraction = std::clamp(fraction, 0.0, 1.0);
-  const auto target = static_cast<uint64_t>(
-      std::ceil(fraction * static_cast<double>(count_)));
-  uint64_t seen = 0;
-  for (size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
-    if (seen >= target) {
-      return BucketUpperBound(i);
-    }
-  }
-  return BucketUpperBound(buckets_.size() - 1);
+  return BucketUpperBound(PercentileBucketIndex(
+      buckets_.data(), buckets_.size(), count_, fraction));
 }
 
 // -------------------------------------------------------------- registry ---
@@ -154,6 +147,17 @@ void MetricsRegistry::Clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::CounterSnapshot() const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, series] : counters_) {
+    out.emplace_back(key, series.metric->value());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 namespace {

@@ -127,6 +127,10 @@ class MetricsRegistry {
   // use this to isolate themselves from earlier activity.
   void Clear();
 
+  // Sorted (series key, value) snapshot of every counter. The flight
+  // recorder diffs two snapshots to report what moved since its baseline.
+  std::vector<std::pair<std::string, uint64_t>> CounterSnapshot() const;
+
   // Serializes every series as one JSON object:
   //   {"counters": [{"name":..., "labels": {...}, "value": N}, ...],
   //    "gauges": [...],

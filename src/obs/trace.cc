@@ -9,6 +9,10 @@ namespace bkup {
 Tracer::Tracer(SimEnvironment* env, size_t capacity)
     : env_(env), capacity_(capacity > 0 ? capacity : 1) {
   env_->set_tracer(this);
+  // Pid 1 is the default node: every plain Track() call lands here, so
+  // single-node traces look exactly like they did before processes existed.
+  processes_.push_back("filer");
+  process_by_name_.emplace("filer", 1u);
 }
 
 Tracer::~Tracer() {
@@ -21,11 +25,23 @@ Tracer::~Tracer() {
   }
 }
 
-uint32_t Tracer::Track(const std::string& name) {
+uint32_t Tracer::Process(const std::string& name) {
+  auto [it, inserted] = process_by_name_.try_emplace(
+      name, static_cast<uint32_t>(processes_.size()) + 1);
+  if (inserted) {
+    processes_.push_back(name);
+  }
+  return it->second;
+}
+
+uint32_t Tracer::Track(const std::string& name) { return Track(name, 1); }
+
+uint32_t Tracer::Track(const std::string& name, uint32_t pid) {
   auto [it, inserted] =
       track_by_name_.try_emplace(name, static_cast<uint32_t>(tracks_.size()));
   if (inserted) {
-    tracks_.push_back(TrackInfo{name, /*counter=*/false});
+    tracks_.push_back(TrackInfo{name, /*counter=*/false, pid});
+    open_.emplace_back();
   }
   return it->second;
 }
@@ -34,7 +50,8 @@ uint32_t Tracer::CounterTrack(const std::string& name) {
   auto [it, inserted] =
       track_by_name_.try_emplace(name, static_cast<uint32_t>(tracks_.size()));
   if (inserted) {
-    tracks_.push_back(TrackInfo{name, /*counter=*/true});
+    tracks_.push_back(TrackInfo{name, /*counter=*/true, 1});
+    open_.emplace_back();
   }
   return it->second;
 }
@@ -48,17 +65,42 @@ void Tracer::Append(TraceEvent event) {
 }
 
 void Tracer::Begin(uint32_t track, std::string name) {
+  open_[track].push_back(OpenSpan{name, env_->now()});
   Append(TraceEvent{TraceEvent::Kind::kBegin, track, env_->now(),
                     std::move(name)});
 }
 
+void Tracer::Begin(uint32_t track, std::string name, const TraceContext& ctx) {
+  open_[track].push_back(OpenSpan{name, env_->now()});
+  Append(TraceEvent{TraceEvent::Kind::kBegin, track, env_->now(),
+                    std::move(name), 0.0, 0, ctx.trace_id, ctx.incarnation});
+}
+
 void Tracer::End(uint32_t track) {
+  NotifyEnd(track, env_->now());
   Append(TraceEvent{TraceEvent::Kind::kEnd, track, env_->now(), {}});
+}
+
+void Tracer::NotifyEnd(uint32_t track, SimTime end) {
+  if (open_[track].empty()) {
+    return;  // unmatched End; nothing to report
+  }
+  OpenSpan span = std::move(open_[track].back());
+  open_[track].pop_back();
+  if (listener_ != nullptr) {
+    listener_->OnSpanEnd(tracks_[track].name, span.name, span.begin, end);
+  }
 }
 
 void Tracer::Instant(uint32_t track, std::string name) {
   Append(TraceEvent{TraceEvent::Kind::kInstant, track, env_->now(),
                     std::move(name)});
+}
+
+void Tracer::Instant(uint32_t track, std::string name,
+                     const TraceContext& ctx) {
+  Append(TraceEvent{TraceEvent::Kind::kInstant, track, env_->now(),
+                    std::move(name), 0.0, 0, ctx.trace_id, ctx.incarnation});
 }
 
 void Tracer::Counter(uint32_t track, double value) {
@@ -68,6 +110,18 @@ void Tracer::Counter(uint32_t track, double value) {
 
 void Tracer::CounterNamed(const std::string& name, double value) {
   Counter(CounterTrack(name), value);
+}
+
+void Tracer::FlowStart(uint32_t track, uint64_t id, std::string name,
+                       const TraceContext& ctx) {
+  Append(TraceEvent{TraceEvent::Kind::kFlowStart, track, env_->now(),
+                    std::move(name), 0.0, id, ctx.trace_id, ctx.incarnation});
+}
+
+void Tracer::FlowEnd(uint32_t track, uint64_t id, std::string name,
+                     const TraceContext& ctx) {
+  Append(TraceEvent{TraceEvent::Kind::kFlowEnd, track, env_->now(),
+                    std::move(name), 0.0, id, ctx.trace_id, ctx.incarnation});
 }
 
 void Tracer::WatchResource(Resource* res) {
@@ -101,12 +155,27 @@ std::string Tracer::ToChromeJson() const {
       .Field("dropped_events", dropped_)
       .EndObject();
   w.Key("traceEvents").BeginArray();
+  // Process metadata: one row per node (the filer plus every tape server
+  // the trace touched), so Perfetto renders a per-node timeline.
+  for (size_t i = 0; i < processes_.size(); ++i) {
+    w.BeginObject()
+        .Field("ph", "M")
+        .Field("pid", static_cast<int64_t>(i + 1))
+        .Field("tid", int64_t{0})
+        .Field("ts", int64_t{0})
+        .Field("name", "process_name")
+        .Key("args")
+        .BeginObject()
+        .Field("name", processes_[i])
+        .EndObject()
+        .EndObject();
+  }
   // Track metadata: names every tid so Perfetto shows "job:...", resource
   // names etc. instead of bare numbers.
   for (size_t i = 0; i < tracks_.size(); ++i) {
     w.BeginObject()
         .Field("ph", "M")
-        .Field("pid", int64_t{1})
+        .Field("pid", static_cast<int64_t>(tracks_[i].pid))
         .Field("tid", static_cast<int64_t>(i))
         .Field("ts", int64_t{0})
         .Field("name", "thread_name")
@@ -134,12 +203,30 @@ std::string Tracer::ToChromeJson() const {
         // so every watched resource gets its own counter track.
         w.Field("ph", "C").Field("name", tracks_[e.track].name);
         break;
+      case TraceEvent::Kind::kFlowStart:
+        w.Field("ph", "s").Field("name", e.name).Field("cat", "flow");
+        w.Field("id", e.flow_id);
+        break;
+      case TraceEvent::Kind::kFlowEnd:
+        // bp:"e" binds the arrow head to the enclosing slice, which is how
+        // sender→receiver frame arrows attach to the rx span.
+        w.Field("ph", "f").Field("name", e.name).Field("cat", "flow");
+        w.Field("id", e.flow_id).Field("bp", "e");
+        break;
     }
-    w.Field("pid", int64_t{1})
+    w.Field("pid", static_cast<int64_t>(tracks_[e.track].pid))
         .Field("tid", static_cast<int64_t>(e.track))
         .Field("ts", static_cast<int64_t>(e.ts));
     if (e.kind == TraceEvent::Kind::kCounter) {
       w.Key("args").BeginObject().Field("in_use", e.value).EndObject();
+    } else if (e.trace_id != 0) {
+      // Causal identity: every event of one logical job shares a trace id;
+      // incarnation counts supervised restarts within it.
+      w.Key("args")
+          .BeginObject()
+          .Field("trace", e.trace_id)
+          .Field("incarnation", static_cast<uint64_t>(e.incarnation))
+          .EndObject();
     }
     w.EndObject();
   }

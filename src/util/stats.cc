@@ -1,9 +1,25 @@
 #include "src/util/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 namespace bkup {
+
+size_t PercentileBucketIndex(const uint64_t* buckets, size_t n,
+                             uint64_t total, double fraction) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto target =
+      static_cast<uint64_t>(std::ceil(fraction * static_cast<double>(total)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < n; ++i) {
+    seen += buckets[i];
+    if (seen >= target) {
+      return i;
+    }
+  }
+  return n - 1;
+}
 
 void RunningStats::Add(double x) {
   ++count_;
@@ -43,15 +59,11 @@ uint64_t Log2Histogram::Percentile(double fraction) const {
   if (total_ == 0) {
     return 0;
   }
-  const auto target = static_cast<uint64_t>(fraction * static_cast<double>(total_));
-  uint64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b];
-    if (seen > target) {
-      return b == 0 ? 0 : (1ull << (b - 1));
-    }
-  }
-  return 1ull << (kBuckets - 1);
+  const size_t b =
+      PercentileBucketIndex(buckets_, kBuckets, total_, fraction);
+  // Bucket b covers [2^(b-1), 2^b - 1] (bucket 0 holds only zero); report
+  // its inclusive upper bound, mirroring Histogram::BucketUpperBound.
+  return b == 0 ? 0 : (1ull << b) - 1;
 }
 
 std::string Log2Histogram::ToString() const {

@@ -10,6 +10,16 @@
 
 namespace bkup {
 
+// Index of the bucket holding the `fraction` quantile: the first bucket at
+// which the cumulative count reaches ceil(fraction * total). This is the
+// single definition of percentile-over-buckets — `Histogram` (src/obs) and
+// `Log2Histogram` both defer to it, so p50/p90/p99 math cannot drift
+// between bench tables and metrics JSON; each caller only maps the index to
+// its own bucket bound. Returns n - 1 when the buckets cannot cover the
+// target (total of zero is the caller's guard).
+size_t PercentileBucketIndex(const uint64_t* buckets, size_t n,
+                             uint64_t total, double fraction);
+
 // Welford running mean/variance plus min/max; O(1) space.
 class RunningStats {
  public:

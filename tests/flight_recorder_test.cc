@@ -1,0 +1,238 @@
+// FlightRecorder unit tests: the bounded fault ring, state providers,
+// counter-delta accounting against the baseline, the snapshot JSON schema
+// (including the trace-ring tail), and sequenced deterministic dump files.
+// One test writes `flightrec_selftest_0.json` into the test working
+// directory so ctest can run `tools/check_trace.py flightrec` over a real
+// artifact (see tests/CMakeLists.txt).
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/flight_recorder.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/environment.h"
+#include "src/util/units.h"
+
+namespace bkup {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+const JsonValue* FindCounterDelta(const JsonValue& deltas,
+                                  const std::string& name) {
+  for (const JsonValue& e : deltas.array()) {
+    if (e["name"].string_value() == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+TEST(FlightRecorderTest, AttachesToEnvironmentAndDetachesOnDestruction) {
+  SimEnvironment env;
+  MetricsRegistry metrics;
+  {
+    FlightRecorder recorder(&env, ".", &metrics);
+    EXPECT_EQ(env.flight_recorder(), &recorder);
+  }
+  EXPECT_EQ(env.flight_recorder(), nullptr);
+}
+
+TEST(FlightRecorderTest, FaultRingDropsOldestAndCountsDrops) {
+  SimEnvironment env;
+  MetricsRegistry metrics;
+  FlightRecorder recorder(&env, ".", &metrics, /*fault_capacity=*/4);
+
+  for (int i = 0; i < 6; ++i) {
+    env.RunUntil(i * kSecond);
+    recorder.RecordFault("disk", "d" + std::to_string(i), "transient");
+  }
+  EXPECT_EQ(recorder.fault_event_count(), 4u);
+  EXPECT_EQ(recorder.faults_dropped(), 2u);
+  // Oldest two fell off the front; the survivors keep arrival order.
+  EXPECT_EQ(recorder.fault_events().front().target, "d2");
+  EXPECT_EQ(recorder.fault_events().back().target, "d5");
+  EXPECT_EQ(recorder.fault_events().back().ts, 5 * kSecond);
+}
+
+TEST(FlightRecorderTest, StateProvidersReplaceByNameAndRemove) {
+  SimEnvironment env;
+  MetricsRegistry metrics;
+  FlightRecorder recorder(&env, ".", &metrics);
+
+  recorder.AddStateProvider("job", [](JsonWriter* w) { w->Int(1); });
+  recorder.AddStateProvider("job", [](JsonWriter* w) { w->Int(2); });
+  recorder.AddStateProvider(
+      "queue", [](JsonWriter* w) { w->BeginObject().EndObject(); });
+
+  auto parsed = ParseJson(recorder.SnapshotJson("test"));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed)["state"]["job"].int_value(), 2);  // replaced, not dup
+  EXPECT_TRUE((*parsed)["state"]["queue"].is_object());
+
+  recorder.RemoveStateProvider("job");
+  auto again = ParseJson(recorder.SnapshotJson("test"));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE((*again)["state"]["job"].is_null());
+  EXPECT_TRUE((*again)["state"]["queue"].is_object());
+}
+
+TEST(FlightRecorderTest, CounterDeltasReportOnlyWhatMoved) {
+  SimEnvironment env;
+  MetricsRegistry metrics;
+  metrics.GetCounter("pre.existing")->Increment(5);
+
+  FlightRecorder recorder(&env, ".", &metrics);  // baseline captured here
+  metrics.GetCounter("moved")->Increment(3);
+  metrics.GetCounter("fresh")->Increment(2);
+
+  auto parsed = ParseJson(recorder.SnapshotJson("test"));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& deltas = (*parsed)["metrics"]["counter_deltas"];
+  ASSERT_TRUE(deltas.is_array());
+  EXPECT_EQ(FindCounterDelta(deltas, "pre.existing"), nullptr);  // unchanged
+  const JsonValue* moved = FindCounterDelta(deltas, "moved");
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ((*moved)["delta"].int_value(), 3);
+  EXPECT_EQ((*moved)["value"].int_value(), 3);
+  const JsonValue* fresh = FindCounterDelta(deltas, "fresh");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ((*fresh)["delta"].int_value(), 2);
+
+  // Re-baselining forgets everything that moved so far.
+  recorder.MarkMetricsBaseline();
+  auto rebased = ParseJson(recorder.SnapshotJson("test"));
+  ASSERT_TRUE(rebased.ok());
+  EXPECT_EQ((*rebased)["metrics"]["counter_deltas"].array().size(), 0u);
+}
+
+TEST(FlightRecorderTest, SnapshotCarriesTraceTailWithCausalContext) {
+  SimEnvironment env;
+  MetricsRegistry metrics;
+  FlightRecorder recorder(&env, ".", &metrics);
+  Tracer tracer(&env);
+
+  const uint32_t track = tracer.Track("cpu");
+  const TraceContext ctx = tracer.StartTrace();
+  env.RunUntil(1 * kSecond);
+  tracer.Begin(track, "restore", ctx);
+  env.RunUntil(2 * kSecond);
+  tracer.End(track);
+  recorder.RecordFault("crash", "restore", "kill at offset 123");
+
+  auto parsed = ParseJson(recorder.SnapshotJson("chaos_kill"));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = *parsed;
+  EXPECT_EQ(doc["reason"].string_value(), "chaos_kill");
+  EXPECT_EQ(doc["seq"].int_value(), 0);
+  EXPECT_DOUBLE_EQ(doc["sim_time_s"].number(), 2.0);
+  ASSERT_EQ(doc["faults"]["events"].array().size(), 1u);
+  EXPECT_EQ(doc["faults"]["events"].array()[0]["kind"].string_value(),
+            "crash");
+
+  ASSERT_TRUE(doc["trace"]["attached"].bool_value());
+  const JsonValue& tail = doc["trace"]["tail"];
+  ASSERT_TRUE(tail.is_array());
+  ASSERT_GE(tail.array().size(), 2u);
+  bool saw_context = false;
+  for (const JsonValue& e : tail.array()) {
+    EXPECT_FALSE(e["ph"].string_value().empty());
+    EXPECT_FALSE(e["track"].string_value().empty());
+    if (e["name"].string_value() == "restore" &&
+        e["ph"].string_value() == "B") {
+      EXPECT_EQ(e["trace"].int_value(),
+                static_cast<int64_t>(ctx.trace_id));
+      EXPECT_EQ(e["incarnation"].int_value(), 0);
+      saw_context = true;
+    }
+  }
+  EXPECT_TRUE(saw_context);
+}
+
+TEST(FlightRecorderTest, SnapshotWithoutTracerSaysDetached) {
+  SimEnvironment env;
+  MetricsRegistry metrics;
+  FlightRecorder recorder(&env, ".", &metrics);
+  auto parsed = ParseJson(recorder.SnapshotJson("test"));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE((*parsed)["trace"]["attached"].bool_value());
+  EXPECT_EQ((*parsed)["trace"]["tail"].array().size(), 0u);
+}
+
+TEST(FlightRecorderTest, DumpsAreSequencedDeterministicFiles) {
+  SimEnvironment env;
+  MetricsRegistry metrics;
+  const std::string dir = ::testing::TempDir() + "flightrec_test";
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  FlightRecorder recorder(&env, dir, &metrics);
+
+  ASSERT_TRUE(recorder.Dump("breach").ok());
+  EXPECT_EQ(recorder.dumps_written(), 1u);
+  EXPECT_EQ(recorder.last_path(), dir + "/flightrec_breach_0.json");
+  recorder.RecordFault("link", "wan", "frame dropped");
+  ASSERT_TRUE(recorder.Dump("breach").ok());
+  EXPECT_EQ(recorder.dumps_written(), 2u);
+  EXPECT_EQ(recorder.last_path(), dir + "/flightrec_breach_1.json");
+
+  auto first = ParseJson(Slurp(dir + "/flightrec_breach_0.json"));
+  auto second = ParseJson(Slurp(dir + "/flightrec_breach_1.json"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*first)["seq"].int_value(), 0);
+  EXPECT_EQ((*second)["seq"].int_value(), 1);
+  EXPECT_EQ((*first)["faults"]["events"].array().size(), 0u);
+  EXPECT_EQ((*second)["faults"]["events"].array().size(), 1u);
+}
+
+TEST(FlightRecorderTest, DumpToUnwritableDirectoryFailsCleanly) {
+  SimEnvironment env;
+  MetricsRegistry metrics;
+  FlightRecorder recorder(&env, "/nonexistent/nowhere", &metrics);
+  const Status status = recorder.Dump("test");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(recorder.dumps_written(), 0u);
+  EXPECT_TRUE(recorder.last_path().empty());
+}
+
+// Produces the artifact `tools/check_trace.py flightrec` validates from
+// ctest (gtest binaries run with WORKING_DIRECTORY = the test build dir,
+// which is where the fixture looks for flightrec_selftest_0.json).
+TEST(FlightRecorderTest, WritesValidatorFixtureArtifact) {
+  SimEnvironment env;
+  MetricsRegistry metrics;
+  FlightRecorder recorder(&env, ".", &metrics);
+  Tracer tracer(&env);
+
+  const uint32_t track = tracer.Track("cpu");
+  const TraceContext ctx = tracer.StartTrace();
+  env.RunUntil(500 * kMillisecond);
+  tracer.Begin(track, "backup", ctx);
+  metrics.GetCounter("bytes.moved")->Increment(4096);
+  env.RunUntil(1 * kSecond);
+  recorder.RecordFault("disk", "d0", "transient error");
+  env.RunUntil(2 * kSecond);
+  recorder.RecordFault("crash", "backup", "kill at offset 4096");
+  tracer.End(track);
+  recorder.AddStateProvider("job", [](JsonWriter* w) {
+    w->BeginObject()
+        .Field("name", "backup")
+        .Field("attempts", int64_t{1})
+        .EndObject();
+  });
+
+  ASSERT_TRUE(recorder.Dump("selftest").ok());
+  EXPECT_EQ(recorder.last_path(), "./flightrec_selftest_0.json");
+}
+
+}  // namespace
+}  // namespace bkup

@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <map>
+#include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/obs/json.h"
@@ -302,14 +305,20 @@ TEST(TracerTest, ChromeJsonExportInvariants) {
   const JsonValue& events = (*parsed)["traceEvents"];
   ASSERT_TRUE(events.is_array());
 
-  size_t metadata = 0;
+  size_t thread_metadata = 0;
+  size_t process_metadata = 0;
   std::map<int64_t, int64_t> last_ts_by_tid;
   std::map<int64_t, int64_t> open_spans_by_tid;
   for (const JsonValue& e : events.array()) {
     const std::string& ph = e["ph"].string_value();
     if (ph == "M") {
-      EXPECT_EQ(e["name"].string_value(), "thread_name");
-      ++metadata;
+      const std::string& kind = e["name"].string_value();
+      if (kind == "process_name") {
+        ++process_metadata;
+      } else {
+        EXPECT_EQ(kind, "thread_name");
+        ++thread_metadata;
+      }
       continue;
     }
     const int64_t tid = e["tid"].int_value();
@@ -328,12 +337,194 @@ TEST(TracerTest, ChromeJsonExportInvariants) {
       EXPECT_TRUE(ph == "i" || ph == "C") << "unexpected ph " << ph;
     }
   }
-  // 3 tracks: the span track, the faults track, the cpu counter track.
-  EXPECT_EQ(metadata, tracer.track_count());
+  // 3 tracks: the span track, the faults track, the cpu counter track —
+  // all on the default "filer" process row.
+  EXPECT_EQ(thread_metadata, tracer.track_count());
+  EXPECT_EQ(process_metadata, tracer.process_count());
   EXPECT_EQ(tracer.track_count(), 3u);
+  EXPECT_EQ(tracer.process_count(), 1u);
   for (const auto& [tid, open] : open_spans_by_tid) {
     EXPECT_EQ(open, 0) << "unbalanced spans on tid " << tid;
   }
+}
+
+// Cross-node context: spans on two process rows under one trace id, flow
+// arrows between them, and the incarnation label all survive the export.
+TEST(TracerTest, ProcessRowsFlowsAndContextExport) {
+  SimEnvironment env;
+  Resource res(&env, 1, "cpu");
+  Tracer tracer(&env);
+  tracer.WatchResource(&res);
+  env.Spawn(HoldResource(&env, &res, 0, 1 * kMillisecond));
+
+  const TraceContext ctx = tracer.StartTrace();
+  ASSERT_TRUE(ctx.valid());
+  const uint32_t filer_track = tracer.Track("job:x");
+  const uint32_t vault_track = tracer.Track("srv:vault",
+                                            tracer.Process("vault"));
+  EXPECT_EQ(tracer.track_pid(filer_track), 1u);
+  EXPECT_EQ(tracer.track_pid(vault_track), 2u);
+
+  const uint64_t flow = tracer.ReserveFlowIds() | 7;
+  tracer.Begin(filer_track, "send", ctx);
+  tracer.FlowStart(filer_track, flow, "frame", ctx);
+  tracer.Begin(vault_track, "recv", ctx.NextIncarnation());
+  tracer.FlowEnd(vault_track, flow, "frame", ctx);
+  tracer.End(vault_track);
+  tracer.End(filer_track);
+  env.Run();
+
+  auto parsed = ParseJson(tracer.ToChromeJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE((*parsed)["otherData"]["dropped_events"].is_number());
+
+  std::map<int64_t, std::set<int64_t>> pids_by_trace;
+  std::set<std::string> process_names;
+  int64_t max_incarnation = 0;
+  size_t flow_starts = 0;
+  size_t flow_ends = 0;
+  for (const JsonValue& e : (*parsed)["traceEvents"].array()) {
+    const std::string& ph = e["ph"].string_value();
+    if (ph == "M" && e["name"].string_value() == "process_name") {
+      process_names.insert(e["args"]["name"].string_value());
+    }
+    if (e["args"]["trace"].is_number()) {
+      pids_by_trace[e["args"]["trace"].int_value()].insert(
+          e["pid"].int_value());
+      max_incarnation =
+          std::max(max_incarnation, e["args"]["incarnation"].int_value());
+    }
+    if (ph == "s") {
+      EXPECT_TRUE(e["id"].is_number());
+      ++flow_starts;
+    } else if (ph == "f") {
+      EXPECT_TRUE(e["id"].is_number());
+      ++flow_ends;
+    }
+  }
+  EXPECT_EQ(process_names,
+            (std::set<std::string>{"filer", "vault"}));
+  ASSERT_EQ(pids_by_trace.size(), 1u) << "one logical job = one trace id";
+  EXPECT_EQ(pids_by_trace.begin()->second.size(), 2u)
+      << "the trace id must span both process rows";
+  EXPECT_EQ(max_incarnation, 1);
+  EXPECT_EQ(flow_starts, 1u);
+  EXPECT_EQ(flow_ends, 1u);
+}
+
+// Satellite contract: the ring's drop counter is visible in the artifact.
+TEST(TracerTest, DroppedEventsSurfaceInExportMetadata) {
+  SimEnvironment env;
+  Tracer tracer(&env, /*capacity=*/4);
+  const uint32_t track = tracer.Track("t");
+  for (int i = 0; i < 10; ++i) {
+    tracer.Instant(track, "ev" + std::to_string(i));
+  }
+  auto parsed = ParseJson(tracer.ToChromeJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed)["otherData"]["dropped_events"].int_value(), 6);
+}
+
+// The SLO engine's feed: every closed span reaches the listener with its
+// track, name and both timestamps.
+TEST(TracerTest, SpanListenerObservesCompletions) {
+  struct Collector : Tracer::SpanListener {
+    std::vector<std::tuple<std::string, std::string, SimTime, SimTime>> ends;
+    void OnSpanEnd(const std::string& track, const std::string& name,
+                   SimTime begin, SimTime end) override {
+      ends.emplace_back(track, name, begin, end);
+    }
+  };
+  SimEnvironment env;
+  Tracer tracer(&env);
+  Collector collector;
+  tracer.set_span_listener(&collector);
+  env.Spawn(TracedWork(&env));
+  env.Run();
+  tracer.set_span_listener(nullptr);
+
+  // Inner closes first, then outer; durations match the simulated delays.
+  ASSERT_EQ(collector.ends.size(), 2u);
+  EXPECT_EQ(std::get<1>(collector.ends[0]), "inner");
+  EXPECT_EQ(std::get<3>(collector.ends[0]) - std::get<2>(collector.ends[0]),
+            5 * kMillisecond);
+  EXPECT_EQ(std::get<1>(collector.ends[1]), "outer");
+  EXPECT_EQ(std::get<3>(collector.ends[1]) - std::get<2>(collector.ends[1]),
+            25 * kMillisecond);
+}
+
+// ------------------------------------------------------- JSON edge cases ---
+
+// Deep nesting keeps the writer's balance bookkeeping and the parser's
+// recursion honest all the way down and back. 30 object+array pairs stays
+// inside the parser's 64-level recursion cap; one past it must fail
+// cleanly, not overflow the stack.
+TEST(JsonEdgeTest, DeepNestingRoundTrips) {
+  constexpr int kDepth = 30;
+  JsonWriter w;
+  for (int i = 0; i < kDepth; ++i) {
+    w.BeginObject().Key("a").BeginArray();
+  }
+  w.Int(7);
+  for (int i = 0; i < kDepth; ++i) {
+    w.EndArray().EndObject();
+  }
+  auto parsed = ParseJson(w.Take());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* v = &*parsed;
+  for (int i = 0; i < kDepth; ++i) {
+    v = &(*v)["a"];
+    ASSERT_TRUE(v->is_array());
+    ASSERT_EQ(v->array().size(), 1u);
+    v = &v->array()[0];
+  }
+  EXPECT_EQ(v->int_value(), 7);
+
+  std::string too_deep(65, '[');
+  too_deep += "1";
+  too_deep.append(65, ']');
+  EXPECT_FALSE(ParseJson(too_deep).ok());
+}
+
+// UTF-8 multi-byte sequences pass through the escaper byte-for-byte;
+// control characters go out as \u00XX and come back as the raw bytes.
+TEST(JsonEdgeTest, Utf8AndControlCharsRoundTrip) {
+  const std::string utf8 = "caf\xc3\xa9 \xe6\x97\xa5\xe6\x9c\xac \xf0\x9f\x92\xbe";
+  const std::string control = "a" "\x01" "b" "\x1f" "c" "\x7f";
+  JsonWriter w;
+  w.BeginObject().Field("utf8", utf8).Field("ctl", control).EndObject();
+  const std::string doc = w.Take();
+  // The escaper must not mangle multi-byte sequences into \u escapes.
+  EXPECT_NE(doc.find(utf8), std::string::npos);
+  EXPECT_NE(doc.find("\\u0001"), std::string::npos);
+  EXPECT_NE(doc.find("\\u001f"), std::string::npos);
+
+  auto parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed)["utf8"].string_value(), utf8);
+  EXPECT_EQ((*parsed)["ctl"].string_value(), control);
+}
+
+// Non-finite doubles become null in every writer path that emits a double.
+TEST(JsonEdgeTest, NonFiniteDoublesInNestedStructures) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("series")
+      .BeginArray()
+      .Double(1.5)
+      .Double(std::nan(""))
+      .Double(std::numeric_limits<double>::infinity())
+      .Double(-std::numeric_limits<double>::infinity())
+      .EndArray()
+      .EndObject();
+  auto parsed = ParseJson(w.Take());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& series = (*parsed)["series"].array();
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_TRUE(series[0].is_number());
+  EXPECT_TRUE(series[1].is_null());
+  EXPECT_TRUE(series[2].is_null());
+  EXPECT_TRUE(series[3].is_null());
 }
 
 // ----------------------------------------------------------- utilization ---

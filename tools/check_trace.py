@@ -1,18 +1,34 @@
 #!/usr/bin/env python3
 """Validate observability artifacts emitted by the simulator.
 
-Two modes:
+Three modes:
 
-  check_trace.py trace  backup.trace.json   # Chrome trace-event file
-  check_trace.py report BENCH_foo.json      # structured bench report
+  check_trace.py trace  backup.trace.json [flags]  # Chrome trace-event file
+  check_trace.py report BENCH_foo.json             # structured bench report
+  check_trace.py flightrec flightrec_x_0.json      # flight-recorder snapshot
 
 Trace mode checks what Perfetto / chrome://tracing require to load the
-file and what the exporter promises: a traceEvents array, a thread_name
-metadata record for every track, monotonically non-decreasing timestamps
-per track, balanced B/E span pairs per track, and counter events carrying
-a numeric value. Report mode checks the BENCH_*.json contract used by
-downstream tooling: job summaries, per-phase stats, utilization series
-with samples in [0, 1], and the metrics dump.
+file and what the exporter promises: a traceEvents array, thread_name /
+process_name metadata for every track and process, monotonically
+non-decreasing timestamps per track, balanced B/E span pairs per track,
+counter events carrying a numeric value, flow events ("s"/"f") carrying a
+name and an id, and an otherData block with the ring's dropped-events
+counter. Optional flags tighten the contract for cross-node traces:
+
+  --require-flows          at least one matched s->f flow pair
+  --require-processes=N    at least N distinct process rows
+  --require-cross-node     one trace id spans events on >= 2 processes
+  --require-incarnation    some event carries args.incarnation >= 1
+
+Report mode checks the BENCH_*.json contract used by downstream tooling:
+job summaries, per-phase stats, utilization series with samples in
+[0, 1], and the metrics dump. When the report embeds a scheduler section
+it also validates the night_health series (increasing sample times,
+progress in [0, 1]) and that every missed deadline was flagged live.
+
+Flightrec mode checks the flight-recorder snapshot schema: reason/seq,
+the fault ring (ordered timestamps), counter deltas, the trace tail with
+its drop counter, and the state object.
 
 Exit code 0 when the file validates; 1 with a message on stderr when not.
 """
@@ -36,16 +52,35 @@ def load(path):
         fail(f"{path} is not valid JSON: {e}")
 
 
-def check_trace(path):
+def check_trace(path, flags):
+    require_flows = "--require-flows" in flags
+    require_cross_node = "--require-cross-node" in flags
+    require_incarnation = "--require-incarnation" in flags
+    require_processes = 0
+    for f in flags:
+        if f.startswith("--require-processes="):
+            require_processes = int(f.split("=", 1)[1])
+        elif f not in ("--require-flows", "--require-cross-node",
+                       "--require-incarnation"):
+            fail(f"unknown trace flag {f!r}")
+
     doc = load(path)
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail("traceEvents missing, not a list, or empty")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or "dropped_events" not in other:
+        fail("otherData.dropped_events missing — ring truncation invisible")
 
     named_tracks = {}   # tid -> track name from thread_name metadata
+    named_procs = {}    # pid -> process name from process_name metadata
     last_ts = {}        # tid -> last timestamp seen
     open_spans = {}     # tid -> stack depth of open B spans
-    counts = {"B": 0, "E": 0, "i": 0, "C": 0, "M": 0}
+    flow_starts = {}    # id -> count of "s"
+    flow_ends = {}      # id -> count of "f"
+    trace_pids = {}     # trace id -> set of pids its events landed on
+    max_incarnation = 0
+    counts = {"B": 0, "E": 0, "i": 0, "C": 0, "M": 0, "s": 0, "f": 0}
 
     for n, e in enumerate(events):
         ph = e.get("ph")
@@ -53,12 +88,16 @@ def check_trace(path):
             fail(f"event {n}: unexpected ph {ph!r}")
         counts[ph] += 1
         if ph == "M":
-            if e.get("name") != "thread_name":
-                fail(f"event {n}: metadata record is not thread_name")
+            kind = e.get("name")
             name = e.get("args", {}).get("name")
             if not name:
-                fail(f"event {n}: thread_name without args.name")
-            named_tracks[e.get("tid")] = name
+                fail(f"event {n}: {kind} metadata without args.name")
+            if kind == "thread_name":
+                named_tracks[e.get("tid")] = name
+            elif kind == "process_name":
+                named_procs[e.get("pid")] = name
+            else:
+                fail(f"event {n}: unexpected metadata record {kind!r}")
             continue
         tid, ts = e.get("tid"), e.get("ts")
         if tid is None or ts is None:
@@ -69,6 +108,14 @@ def check_trace(path):
             fail(f"event {n}: ts {ts} regressed on tid {tid} "
                  f"(last was {last_ts[tid]})")
         last_ts[tid] = ts
+        args = e.get("args")
+        if isinstance(args, dict):
+            trace_id = args.get("trace")
+            if trace_id is not None:
+                trace_pids.setdefault(trace_id, set()).add(e.get("pid"))
+            inc = args.get("incarnation")
+            if isinstance(inc, int):
+                max_incarnation = max(max_incarnation, inc)
         if ph == "B":
             if not e.get("name"):
                 fail(f"event {n}: B span without a name")
@@ -81,12 +128,18 @@ def check_trace(path):
             if not e.get("name"):
                 fail(f"event {n}: instant without a name")
         elif ph == "C":
-            args = e.get("args")
             if not isinstance(args, dict) or not args:
                 fail(f"event {n}: counter without args")
             for v in args.values():
                 if not isinstance(v, (int, float)):
                     fail(f"event {n}: non-numeric counter value {v!r}")
+        elif ph in ("s", "f"):
+            if not e.get("name"):
+                fail(f"event {n}: flow event without a name")
+            fid = e.get("id")
+            if fid is None:
+                fail(f"event {n}: flow event without an id")
+            (flow_starts if ph == "s" else flow_ends)[fid] = 1
 
     for tid, depth in open_spans.items():
         if depth != 0:
@@ -99,9 +152,49 @@ def check_trace(path):
     if counts["C"] == 0:
         fail("no counter samples at all — resource tracks missing")
 
-    print(f"{path}: OK — {len(events)} events, {len(named_tracks)} tracks "
-          f"({counts['B']} spans, {counts['i']} instants, "
-          f"{counts['C']} counter samples)")
+    # A flow start without an end is legal (a frame the connection gave up
+    # on), but a cross-node trace must land at least one arrow.
+    matched_flows = len(set(flow_starts) & set(flow_ends))
+    if require_flows and matched_flows == 0:
+        fail("no matched s->f flow pair (frames never stitched cross-node)")
+    if len(named_procs) < require_processes:
+        fail(f"only {len(named_procs)} process row(s), "
+             f"need {require_processes}")
+    if require_cross_node:
+        spanning = [t for t, pids in trace_pids.items() if len(pids) >= 2]
+        if not spanning:
+            fail("no trace id spans two processes — nodes not merged")
+    if require_incarnation and max_incarnation < 1:
+        fail("no event with args.incarnation >= 1 — reconnect not traced")
+
+    print(f"{path}: OK — {len(events)} events, {len(named_tracks)} tracks, "
+          f"{len(named_procs)} processes ({counts['B']} spans, "
+          f"{counts['i']} instants, {counts['C']} counter samples, "
+          f"{matched_flows} matched flows, "
+          f"max incarnation {max_incarnation})")
+
+
+def check_night_health(sched):
+    health = sched.get("night_health")
+    if not isinstance(health, list):
+        fail("scheduler: night_health missing or not a list")
+    prev_t = None
+    for n, sample in enumerate(health):
+        t = sample.get("t_s")
+        if t is None or (prev_t is not None and t < prev_t):
+            fail(f"night_health sample {n}: times not non-decreasing")
+        prev_t = t
+        for vol in sample.get("volumes", []):
+            p = vol.get("progress")
+            if p is None or not 0.0 <= p <= 1.0:
+                fail(f"night_health sample {n} volume "
+                     f"{vol.get('name')!r}: progress {p!r} outside [0, 1]")
+    for vol in sched.get("volumes", []):
+        if not vol.get("deadline_met", True) and \
+                not vol.get("slo_flagged_live", False):
+            fail(f"volume {vol.get('name')!r} missed its deadline but was "
+                 f"never flagged live by the SLO monitor")
+    return len(health)
 
 
 def check_report(path):
@@ -153,20 +246,82 @@ def check_report(path):
         if key not in metrics:
             fail(f"metrics: missing {key!r}")
 
+    health_samples = 0
+    if "scheduler" in doc:
+        health_samples = check_night_health(doc["scheduler"])
+
     print(f"{path}: OK — {len(jobs)} jobs, {len(series_list)} utilization "
           f"series ({total_samples} samples), "
           f"{len(metrics['counters'])} counters, "
-          f"{len(metrics['histograms'])} histograms")
+          f"{len(metrics['histograms'])} histograms, "
+          f"{health_samples} night_health samples")
+
+
+def check_flightrec(path):
+    doc = load(path)
+    for key in ("reason", "seq", "sim_time_s", "faults", "metrics", "trace",
+                "state"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+    if not doc["reason"]:
+        fail("empty dump reason")
+
+    faults = doc["faults"]
+    if "dropped" not in faults or not isinstance(faults.get("events"), list):
+        fail("faults.dropped / faults.events malformed")
+    prev_t = None
+    for n, ev in enumerate(faults["events"]):
+        for key in ("t_s", "kind", "target", "detail"):
+            if key not in ev:
+                fail(f"fault event {n}: missing {key!r}")
+        if prev_t is not None and ev["t_s"] < prev_t:
+            fail(f"fault event {n}: timestamps regressed")
+        prev_t = ev["t_s"]
+
+    deltas = doc["metrics"].get("counter_deltas")
+    if not isinstance(deltas, list):
+        fail("metrics.counter_deltas missing")
+    for n, d in enumerate(deltas):
+        if "name" not in d or "value" not in d or "delta" not in d:
+            fail(f"counter delta {n}: missing name/value/delta")
+        if d["delta"] == 0:
+            fail(f"counter delta {n} ({d['name']!r}): zero delta reported")
+
+    trace = doc["trace"]
+    if "attached" not in trace or "dropped_events" not in trace or \
+            not isinstance(trace.get("tail"), list):
+        fail("trace.attached / dropped_events / tail malformed")
+    for n, ev in enumerate(trace["tail"]):
+        for key in ("ph", "track", "t_s", "name"):
+            if key not in ev:
+                fail(f"trace tail event {n}: missing {key!r}")
+
+    if not isinstance(doc["state"], dict):
+        fail("state is not an object")
+
+    print(f"{path}: OK — reason {doc['reason']!r}, "
+          f"{len(faults['events'])} fault events "
+          f"({faults['dropped']} dropped), {len(deltas)} counter deltas, "
+          f"{len(trace['tail'])} trace tail events, "
+          f"{len(doc['state'])} state providers")
 
 
 def main():
-    if len(sys.argv) != 3 or sys.argv[1] not in ("trace", "report"):
+    if len(sys.argv) < 3 or sys.argv[1] not in ("trace", "report",
+                                                "flightrec"):
         sys.stderr.write(__doc__)
         sys.exit(2)
-    if sys.argv[1] == "trace":
-        check_trace(sys.argv[2])
+    mode, path, flags = sys.argv[1], sys.argv[2], sys.argv[3:]
+    if mode == "trace":
+        check_trace(path, flags)
+    elif mode == "report":
+        if flags:
+            fail("report mode takes no flags")
+        check_report(path)
     else:
-        check_report(sys.argv[2])
+        if flags:
+            fail("flightrec mode takes no flags")
+        check_flightrec(path)
 
 
 if __name__ == "__main__":
