@@ -11,6 +11,7 @@
 #define BKUP_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -283,10 +284,14 @@ class BenchSampler {
 // Writes a structured BENCH_*.json report: bench configuration, every job
 // report (summary, faults, per-phase stats), windowed utilization series for
 // every resource, and a snapshot of the process-wide metrics registry.
-inline Status WriteBenchJson(const std::string& path,
-                             const std::string& bench_name, const Bench& b,
-                             const std::vector<const JobReport*>& reports,
-                             const std::vector<BenchSampler*>& samplers) {
+// `extra`, when set, is called with the writer just before the object closes
+// so a bench can append its own top-level sections (the report contract's
+// required keys are unaffected).
+inline Status WriteBenchJson(
+    const std::string& path, const std::string& bench_name, const Bench& b,
+    const std::vector<const JobReport*>& reports,
+    const std::vector<BenchSampler*>& samplers,
+    const std::function<void(JsonWriter*)>& extra = {}) {
   JsonWriter w;
   w.BeginObject();
   w.Field("bench", bench_name);
@@ -317,6 +322,9 @@ inline Status WriteBenchJson(const std::string& path,
   w.EndArray();
   w.Key("metrics");
   MetricsRegistry::Default().WriteJson(&w);
+  if (extra) {
+    extra(&w);
+  }
   w.EndObject();
 
   std::FILE* f = std::fopen(path.c_str(), "w");

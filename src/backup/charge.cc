@@ -113,13 +113,13 @@ Task ChargeRebuildSweep(SimEnvironment* env, RaidGroup* group,
 // unrecoverable failure.
 Task DiskRuns(SimEnvironment* env, Volume* volume, Disk* disk,
               std::vector<Run> runs, const DiskFaultPolicy* policy,
-              Status* error, CountdownLatch* latch) {
+              Status* error, int priority, CountdownLatch* latch) {
   for (const Run& r : runs) {
     Status st;
     int attempt = 0;
     while (true) {
       ++attempt;
-      co_await disk->TimedAccess(r.start, r.count, &st);
+      co_await disk->TimedAccess(r.start, r.count, &st, priority);
       if (st.ok() || policy == nullptr) {
         break;
       }
@@ -196,7 +196,8 @@ void AppendAccess(std::map<Disk*, std::vector<Run>>* per_disk, Disk* disk,
 
 Task ChargeDiskAccess(SimEnvironment* env, Volume* volume,
                       std::span<const Vbn> vbns, bool parity_writes,
-                      const DiskFaultPolicy* policy, Status* error) {
+                      const DiskFaultPolicy* policy, Status* error,
+                      int priority) {
   std::map<Disk*, std::vector<Run>> per_disk;
   // Parity: per RAID group, mirror of the data run pattern (one parity
   // touch per distinct stripe, coalesced the same way).
@@ -222,15 +223,15 @@ Task ChargeDiskAccess(SimEnvironment* env, Volume* volume,
   }
   CountdownLatch latch(env, static_cast<int>(per_disk.size()));
   for (auto& [disk, runs] : per_disk) {
-    env->Spawn(
-        DiskRuns(env, volume, disk, std::move(runs), policy, error, &latch));
+    env->Spawn(DiskRuns(env, volume, disk, std::move(runs), policy, error,
+                        priority, &latch));
   }
   co_await latch.Wait();
 }
 
 Task ChargeSequentialWrites(SimEnvironment* env, Volume* volume,
                             uint64_t blocks, const DiskFaultPolicy* policy,
-                            Status* error) {
+                            Status* error, int priority) {
   if (blocks == 0) {
     co_return;
   }
@@ -252,8 +253,8 @@ Task ChargeSequentialWrites(SimEnvironment* env, Volume* volume,
   CountdownLatch latch(env, static_cast<int>(shares.size()));
   for (auto& [disk, count] : shares) {
     std::vector<Run> runs{Run{disk->head_position(), count}};
-    env->Spawn(
-        DiskRuns(env, volume, disk, std::move(runs), policy, error, &latch));
+    env->Spawn(DiskRuns(env, volume, disk, std::move(runs), policy, error,
+                        priority, &latch));
   }
   co_await latch.Wait();
 }

@@ -53,11 +53,14 @@ struct DiskFaultPolicy {
 // charged a mirror of the heaviest data-disk run set in that group
 // (RAID-4 full-stripe write behaviour). A non-null `policy` enables fault
 // recovery per the policy; the first unrecoverable error lands in `*error`
-// (which must then be non-null and start Ok).
+// (which must then be non-null and start Ok). `priority` is the disk-arm
+// scheduling class (kPriorityBackground for a QoS-demoted dump); fault
+// recovery traffic always runs foreground — a degraded group is urgent.
 Task ChargeDiskAccess(SimEnvironment* env, Volume* volume,
                       std::span<const Vbn> vbns, bool parity_writes,
                       const DiskFaultPolicy* policy = nullptr,
-                      Status* error = nullptr);
+                      Status* error = nullptr,
+                      int priority = kPriorityForeground);
 
 // Charges a purely sequential write-anywhere burst of `blocks` blocks
 // spread round-robin over all data disks (plus parity), each continuing
@@ -67,7 +70,8 @@ Task ChargeDiskAccess(SimEnvironment* env, Volume* volume,
 Task ChargeSequentialWrites(SimEnvironment* env, Volume* volume,
                             uint64_t blocks,
                             const DiskFaultPolicy* policy = nullptr,
-                            Status* error = nullptr);
+                            Status* error = nullptr,
+                            int priority = kPriorityForeground);
 
 }  // namespace bkup
 

@@ -62,20 +62,23 @@ class Filer {
   Resource& cpu() { return cpu_; }
   Resource& nvram_port() { return nvram_port_; }
 
-  // Holds the CPU for the model cost of `charges`.
-  Task ChargeCpu(const std::vector<CpuCharge>& charges) {
+  // Holds the CPU for the model cost of `charges`. `priority` is the CPU
+  // scheduling class (kPriorityBackground demotes a QoS-throttled dump
+  // behind foreground work).
+  Task ChargeCpu(const std::vector<CpuCharge>& charges,
+                 int priority = kPriorityForeground) {
     const SimDuration cost = model_.CostOf(charges);
     if (cost > 0) {
-      co_await cpu_.Use(1, cost);
+      co_await cpu_.Use(1, cost, priority);
     }
   }
 
   // Streams `bytes` through the NVRAM log port.
-  Task ChargeNvram(uint64_t bytes) {
+  Task ChargeNvram(uint64_t bytes, int priority = kPriorityForeground) {
     const SimDuration cost = SecondsToSim(
         static_cast<double>(bytes) / (model_.nvram_mb_per_s * 1e6));
     if (cost > 0) {
-      co_await nvram_port_.Use(1, cost);
+      co_await nvram_port_.Use(1, cost, priority);
     }
   }
 

@@ -184,6 +184,9 @@ Task TapeReaderProc(ReplayConfig cfg, uint64_t total_bytes,
     }
     const uint64_t n = std::min<uint64_t>(
         {cfg.chunk_bytes, total_bytes - pos, remaining_on_tape});
+    if (cfg.qos.throttle != nullptr) {
+      co_await cfg.qos.throttle->Acquire(n);
+    }
     Status st;
     co_await cfg.tape->TimedRead(std::span(scratch).first(n), &st);
     if (!st.ok() && cfg.supervision != nullptr) {
@@ -248,6 +251,9 @@ Task RangedTapeReaderProc(ReplayConfig cfg, std::vector<StreamRange> ranges,
       }
       const uint64_t n =
           std::min<uint64_t>({cfg.chunk_bytes, r.end - pos, on_tape});
+      if (cfg.qos.throttle != nullptr) {
+        co_await cfg.qos.throttle->Acquire(n);
+      }
       co_await cfg.tape->TimedRead(std::span(scratch).first(n), &st);
       if (!st.ok() && cfg.supervision != nullptr) {
         const RetryPolicy& retry = cfg.supervision->tape_retry;
@@ -286,7 +292,8 @@ Task DiskFetch(ReplayConfig cfg, const IoEvent* event, JobReport* report,
   }
   Status error;
   co_await ChargeDiskAccess(cfg.filer->env(), cfg.volume, event->disk_reads,
-                            /*parity_writes=*/false, pp, &error);
+                            /*parity_writes=*/false, pp, &error,
+                            cfg.qos.io_priority);
   if (!error.ok() && report->status.ok()) {
     report->status = error;
   }
@@ -307,9 +314,11 @@ Task DiskFlush(ReplayConfig cfg, std::vector<Vbn> writes,
   Status error;
   if (!writes.empty()) {
     co_await ChargeDiskAccess(env, cfg.volume, writes,
-                              /*parity_writes=*/true, pp, &error);
+                              /*parity_writes=*/true, pp, &error,
+                              cfg.qos.io_priority);
   } else if (seq_blocks > 0) {
-    co_await ChargeSequentialWrites(env, cfg.volume, seq_blocks, pp, &error);
+    co_await ChargeSequentialWrites(env, cfg.volume, seq_blocks, pp, &error,
+                                    cfg.qos.io_priority);
   }
   if (!error.ok() && report->status.ok()) {
     report->status = error;
@@ -353,10 +362,13 @@ Task ReplayProducer(ReplayConfig cfg, const IoTrace* trace,
     report->TouchPhase(e.phase, env->now(), cfg.filer->cpu().BusyIntegral());
     co_await ready[i]->Wait();
     report->phase(e.phase).disk_bytes += e.disk_reads.size() * kBlockSize;
-    co_await cfg.filer->ChargeCpu(e.cpu);
+    co_await cfg.filer->ChargeCpu(e.cpu, cfg.qos.io_priority);
     while (sent < e.stream_end) {
       const uint64_t n =
           std::min<uint64_t>(cfg.chunk_bytes, e.stream_end - sent);
+      if (cfg.qos.throttle != nullptr) {
+        co_await cfg.qos.throttle->Acquire(n);
+      }
       co_await out->Send(StreamChunk{sent, sent + n, e.phase});
       sent += n;
     }
@@ -411,9 +423,9 @@ Task ReplayConsumer(ReplayConfig cfg, const IoTrace* trace,
     }
     consumed = e.stream_end;
 
-    co_await cfg.filer->ChargeCpu(e.cpu);
+    co_await cfg.filer->ChargeCpu(e.cpu, cfg.qos.io_priority);
     if (cfg.charge_nvram && e.nvram_bytes > 0) {
-      co_await cfg.filer->ChargeNvram(e.nvram_bytes);
+      co_await cfg.filer->ChargeNvram(e.nvram_bytes, cfg.qos.io_priority);
     }
     // Disk flushes proceed write-behind, bounded by the disk window.
     if (!e.disk_writes.empty()) {
@@ -481,7 +493,7 @@ Task ReplayFromTapeRanges(ReplayConfig cfg, const IoTrace* trace,
 }
 
 Task SnapshotPhase(Filer* filer, JobReport* report, JobPhase phase,
-                   SimDuration duration) {
+                   SimDuration duration, int priority) {
   SimEnvironment* env = filer->env();
   PhaseSpanner spans(env, report->name);
   spans.Enter(phase);
@@ -493,7 +505,7 @@ Task SnapshotPhase(Filer* filer, JobReport* report, JobPhase phase,
   const auto busy_slice = static_cast<SimDuration>(
       static_cast<double>(slice) * filer->model().snapshot_cpu_fraction);
   while (env->now() < deadline) {
-    co_await filer->cpu().Use(1, busy_slice);
+    co_await filer->cpu().Use(1, busy_slice, priority);
     const SimDuration idle =
         std::min<SimDuration>(slice - busy_slice, deadline - env->now());
     if (idle > 0) {
@@ -507,7 +519,7 @@ Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                       LogicalDumpOptions options,
                       LogicalBackupJobResult* result, CountdownLatch* done,
                       std::vector<Tape*> spare_tapes,
-                      const SupervisionPolicy* supervision) {
+                      const SupervisionPolicy* supervision, BackupQos qos) {
   SimEnvironment* env = filer->env();
   JobReport& report = result->report;
   report.name = "Logical backup";
@@ -523,7 +535,8 @@ Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
     co_return;
   }
   co_await SnapshotPhase(filer, &report, JobPhase::kCreateSnapshot,
-                         filer->model().snapshot_create_time);
+                         filer->model().snapshot_create_time,
+                         qos.io_priority);
 
   options.dump_time = env->now();
   if (supervision != nullptr && supervision->skip_unreadable_files) {
@@ -552,6 +565,7 @@ Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
   cfg.tape = tape;
   cfg.spare_tapes = std::move(spare_tapes);
   cfg.supervision = supervision;
+  cfg.qos = qos;
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayToTape(cfg, &result->dump.trace, result->dump.stream,
                           &report, &replay_done));
@@ -562,7 +576,8 @@ Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
     report.status = del;
   }
   co_await SnapshotPhase(filer, &report, JobPhase::kDeleteSnapshot,
-                         filer->model().snapshot_delete_time);
+                         filer->model().snapshot_delete_time,
+                         qos.io_priority);
 
   report.end_time = env->now();
   report.cpu_busy_end = filer->cpu().BusyIntegral();
@@ -784,7 +799,7 @@ Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                     ImageDumpOptions options, bool delete_snapshot_after,
                     ImageBackupJobResult* result, CountdownLatch* done,
                     std::vector<Tape*> spare_tapes,
-                    const SupervisionPolicy* supervision) {
+                    const SupervisionPolicy* supervision, BackupQos qos) {
   SimEnvironment* env = filer->env();
   JobReport& report = result->report;
   report.name = "Physical backup";
@@ -804,7 +819,8 @@ Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
       co_return;
     }
     co_await SnapshotPhase(filer, &report, JobPhase::kCreateSnapshot,
-                           filer->model().snapshot_create_time);
+                           filer->model().snapshot_create_time,
+                           qos.io_priority);
   }
 
   options.dump_time = env->now();
@@ -822,6 +838,7 @@ Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
   cfg.tape = tape;
   cfg.spare_tapes = std::move(spare_tapes);
   cfg.supervision = supervision;
+  cfg.qos = qos;
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayToTape(cfg, &result->dump.trace, result->dump.stream,
                           &report, &replay_done));
@@ -833,7 +850,8 @@ Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
       report.status = del;
     }
     co_await SnapshotPhase(filer, &report, JobPhase::kDeleteSnapshot,
-                           filer->model().snapshot_delete_time);
+                           filer->model().snapshot_delete_time,
+                           qos.io_priority);
   }
 
   report.end_time = env->now();

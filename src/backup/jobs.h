@@ -29,11 +29,23 @@
 #include "src/image/image_dump.h"
 #include "src/sim/channel.h"
 #include "src/sim/sync.h"
+#include "src/sim/throttle.h"
 
 namespace bkup {
 
 struct SupervisionPolicy;  // src/backup/supervisor.h
 class Tracer;              // src/obs/trace.h
+
+// Backup QoS (DESIGN.md §15): how much a dump may interfere with live
+// foreground traffic. `throttle` caps the dump's stream rate (the producer
+// acquires every chunk's bytes from the bucket before moving them);
+// `io_priority` demotes the dump's CPU, NVRAM and disk-arm acquisitions to
+// the background class, so queued foreground requests are always served
+// first. The default is the pre-QoS behaviour: unthrottled, equal priority.
+struct BackupQos {
+  BackupThrottle* throttle = nullptr;
+  int io_priority = kPriorityForeground;
+};
 
 struct ReplayConfig {
   Filer* filer = nullptr;
@@ -63,6 +75,9 @@ struct ReplayConfig {
   // Remote jobs: the stream crosses a NetLink, so the consumer attributes
   // arriving bytes to the phase's net_bytes as well (link MB/s columns).
   bool count_net_bytes = false;
+  // Backup QoS: stream-rate cap and device scheduling class for every charge
+  // this replay makes (see BackupQos above).
+  BackupQos qos;
 };
 
 // ------------------------------------------------ replay building blocks ---
@@ -156,12 +171,14 @@ struct LogicalBackupJobResult {
 };
 
 // Snapshot create -> 4-phase dump to tape -> snapshot delete (the exact
-// stage sequence of Table 3's "Logical Dump" rows).
+// stage sequence of Table 3's "Logical Dump" rows). `qos` caps/demotes the
+// dump when foreground traffic must stay responsive.
 Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                       LogicalDumpOptions options,
                       LogicalBackupJobResult* result, CountdownLatch* done,
                       std::vector<Tape*> spare_tapes = {},
-                      const SupervisionPolicy* supervision = nullptr);
+                      const SupervisionPolicy* supervision = nullptr,
+                      BackupQos qos = {});
 
 struct LogicalRestoreJobResult {
   LogicalRestoreOutput restore;
@@ -225,7 +242,8 @@ Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                     ImageDumpOptions options, bool delete_snapshot_after,
                     ImageBackupJobResult* result, CountdownLatch* done,
                     std::vector<Tape*> spare_tapes = {},
-                    const SupervisionPolicy* supervision = nullptr);
+                    const SupervisionPolicy* supervision = nullptr,
+                    BackupQos qos = {});
 
 struct ImageRestoreJobResult {
   ImageRestoreOutput restore;
@@ -241,9 +259,10 @@ Task ImageRestoreJob(Filer* filer, Volume* volume, TapeDrive* tape,
                      const SupervisionPolicy* supervision = nullptr);
 
 // Charges a snapshot create/delete window (~30 s at ~50% CPU) and records
-// it as `phase` in the report. Exposed for composed multi-tape jobs.
+// it as `phase` in the report. Exposed for composed multi-tape jobs. The
+// duty-cycled CPU slices run at `priority`.
 Task SnapshotPhase(Filer* filer, JobReport* report, JobPhase phase,
-                   SimDuration duration);
+                   SimDuration duration, int priority = kPriorityForeground);
 
 }  // namespace bkup
 

@@ -12,7 +12,7 @@ namespace {
 Task LogicalPart(Filer* filer, Filesystem* fs, TapeDrive* drive,
                  LogicalDumpOptions options, LogicalBackupJobResult* part,
                  CountdownLatch* latch, const SupervisionPolicy* supervision,
-                 std::vector<Tape*> spare_tapes) {
+                 std::vector<Tape*> spare_tapes, BackupQos qos) {
   SimEnvironment* env = filer->env();
   JobReport& report = part->report;
   report.name = "Logical backup [" + options.subtree + "]";
@@ -43,6 +43,7 @@ Task LogicalPart(Filer* filer, Filesystem* fs, TapeDrive* drive,
   cfg.tape = drive;
   cfg.spare_tapes = std::move(spare_tapes);
   cfg.supervision = supervision;
+  cfg.qos = qos;
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayToTape(cfg, &part->dump.trace, part->dump.stream, &report,
                           &replay_done));
@@ -57,7 +58,7 @@ Task LogicalPart(Filer* filer, Filesystem* fs, TapeDrive* drive,
 Task ImagePart(Filer* filer, Filesystem* fs, TapeDrive* drive,
                ImageDumpOptions options, ImageBackupJobResult* part,
                CountdownLatch* latch, const SupervisionPolicy* supervision,
-               std::vector<Tape*> spare_tapes) {
+               std::vector<Tape*> spare_tapes, BackupQos qos) {
   SimEnvironment* env = filer->env();
   JobReport& report = part->report;
   report.name = "Physical backup [part " +
@@ -80,6 +81,7 @@ Task ImagePart(Filer* filer, Filesystem* fs, TapeDrive* drive,
   cfg.tape = drive;
   cfg.spare_tapes = std::move(spare_tapes);
   cfg.supervision = supervision;
+  cfg.qos = qos;
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayToTape(cfg, &part->dump.trace, part->dump.stream, &report,
                           &replay_done));
@@ -120,7 +122,8 @@ Task ParallelLogicalBackupJob(Filer* filer, Filesystem* fs,
                               ParallelLogicalBackupResult* result,
                               CountdownLatch* done,
                               const SupervisionPolicy* supervision,
-                              std::vector<std::vector<Tape*>> spare_tapes) {
+                              std::vector<std::vector<Tape*>> spare_tapes,
+                              BackupQos qos) {
   assert(drives.size() == subtrees.size() && !drives.empty());
   SimEnvironment* env = filer->env();
   JobReport& control = result->control;
@@ -137,7 +140,8 @@ Task ParallelLogicalBackupJob(Filer* filer, Filesystem* fs,
     co_return;
   }
   co_await SnapshotPhase(filer, &control, JobPhase::kCreateSnapshot,
-                         filer->model().snapshot_create_time);
+                         filer->model().snapshot_create_time,
+                         qos.io_priority);
 
   CountdownLatch parts_done(env, static_cast<int>(drives.size()));
   for (size_t k = 0; k < drives.size(); ++k) {
@@ -148,7 +152,7 @@ Task ParallelLogicalBackupJob(Filer* filer, Filesystem* fs,
     result->parts.push_back(std::make_unique<LogicalBackupJobResult>());
     env->Spawn(LogicalPart(filer, fs, drives[k], options,
                            result->parts.back().get(), &parts_done,
-                           supervision, SpareSlice(spare_tapes, k)));
+                           supervision, SpareSlice(spare_tapes, k), qos));
   }
   co_await parts_done.Wait();
 
@@ -157,7 +161,8 @@ Task ParallelLogicalBackupJob(Filer* filer, Filesystem* fs,
     control.status = del;
   }
   co_await SnapshotPhase(filer, &control, JobPhase::kDeleteSnapshot,
-                         filer->model().snapshot_delete_time);
+                         filer->model().snapshot_delete_time,
+                         qos.io_priority);
   control.end_time = env->now();
   control.cpu_busy_end = filer->cpu().BusyIntegral();
 
@@ -207,7 +212,8 @@ Task ParallelImageBackupJob(Filer* filer, Filesystem* fs,
                             ParallelImageBackupResult* result,
                             CountdownLatch* done,
                             const SupervisionPolicy* supervision,
-                            std::vector<std::vector<Tape*>> spare_tapes) {
+                            std::vector<std::vector<Tape*>> spare_tapes,
+                            BackupQos qos) {
   assert(!drives.empty());
   SimEnvironment* env = filer->env();
   JobReport& control = result->control;
@@ -226,7 +232,8 @@ Task ParallelImageBackupJob(Filer* filer, Filesystem* fs,
       co_return;
     }
     co_await SnapshotPhase(filer, &control, JobPhase::kCreateSnapshot,
-                           filer->model().snapshot_create_time);
+                           filer->model().snapshot_create_time,
+                           qos.io_priority);
   }
 
   CountdownLatch parts_done(env, static_cast<int>(drives.size()));
@@ -239,7 +246,7 @@ Task ParallelImageBackupJob(Filer* filer, Filesystem* fs,
     result->parts.push_back(std::make_unique<ImageBackupJobResult>());
     env->Spawn(ImagePart(filer, fs, drives[k], options,
                          result->parts.back().get(), &parts_done,
-                         supervision, SpareSlice(spare_tapes, k)));
+                         supervision, SpareSlice(spare_tapes, k), qos));
   }
   co_await parts_done.Wait();
 
@@ -249,7 +256,8 @@ Task ParallelImageBackupJob(Filer* filer, Filesystem* fs,
       control.status = del;
     }
     co_await SnapshotPhase(filer, &control, JobPhase::kDeleteSnapshot,
-                           filer->model().snapshot_delete_time);
+                           filer->model().snapshot_delete_time,
+                           qos.io_priority);
   }
   control.end_time = env->now();
   control.cpu_busy_end = filer->cpu().BusyIntegral();

@@ -29,7 +29,9 @@ struct ParallelLogicalBackupResult {
 // Dumps `subtrees[k]` to `drives[k]` concurrently from one shared snapshot.
 // With `supervision`, each part's replay runs the retry/remount ladder of
 // src/backup/supervisor, drawing remount media from `spare_tapes[k]` (the
-// per-drive slice of the stacker; may be shorter than `drives`).
+// per-drive slice of the stacker; may be shorter than `drives`). `qos`
+// applies to every part: the parts share one throttle bucket, so the cap
+// bounds the *aggregate* stream rate of the parallel dump.
 Task ParallelLogicalBackupJob(Filer* filer, Filesystem* fs,
                               std::vector<TapeDrive*> drives,
                               std::vector<std::string> subtrees,
@@ -37,7 +39,8 @@ Task ParallelLogicalBackupJob(Filer* filer, Filesystem* fs,
                               ParallelLogicalBackupResult* result,
                               CountdownLatch* done,
                               const SupervisionPolicy* supervision = nullptr,
-                              std::vector<std::vector<Tape*>> spare_tapes = {});
+                              std::vector<std::vector<Tape*>> spare_tapes = {},
+                              BackupQos qos = {});
 
 struct ParallelLogicalRestoreResult {
   std::vector<std::unique_ptr<LogicalRestoreJobResult>> parts;
@@ -69,7 +72,8 @@ Task ParallelImageBackupJob(Filer* filer, Filesystem* fs,
                             ParallelImageBackupResult* result,
                             CountdownLatch* done,
                             const SupervisionPolicy* supervision = nullptr,
-                            std::vector<std::vector<Tape*>> spare_tapes = {});
+                            std::vector<std::vector<Tape*>> spare_tapes = {},
+                            BackupQos qos = {});
 
 struct ParallelImageRestoreResult {
   std::vector<std::unique_ptr<ImageRestoreJobResult>> parts;

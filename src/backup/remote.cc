@@ -23,7 +23,8 @@ class StreamSession {
  public:
   StreamSession(SimEnvironment* env, NetLink* link, std::string name,
                 std::span<const uint8_t> stream, const SupervisionPolicy* sup,
-                JobReport* report, std::string server_node = "tape-server")
+                JobReport* report, std::string server_node = "tape-server",
+                BackupThrottle* throttle = nullptr)
       : env_(env),
         link_(link),
         name_(std::move(name)),
@@ -31,6 +32,7 @@ class StreamSession {
         stream_(stream),
         sup_(sup),
         report_(report),
+        throttle_(throttle),
         conn_feed_(env, 16) {
     // One causal trace for the whole session: every connection, frame and
     // reconnect incarnation shares this id (no-op without a tracer).
@@ -89,6 +91,7 @@ class StreamSession {
   Task Connect() {
     conns_.push_back(std::make_unique<StreamConn>(
         link_, name_ + "#" + std::to_string(conns_.size())));
+    conns_.back()->set_throttle(throttle_);  // QoS survives reconnects
     conns_.back()->EnableTracing(ctx_, "filer", server_node_);
     co_await conn_feed_.Send(conns_.back().get());
   }
@@ -130,6 +133,7 @@ class StreamSession {
   std::span<const uint8_t> stream_;
   const SupervisionPolicy* sup_;
   JobReport* report_;
+  BackupThrottle* throttle_;
   Channel<StreamConn*> conn_feed_;
   std::vector<std::unique_ptr<StreamConn>> conns_;
   uint64_t hwm_ = 0;          // highest stream byte handed to Send
@@ -442,7 +446,8 @@ Task ReplayToNet(ReplayConfig cfg, RemoteTarget target, const IoTrace* trace,
   const std::string server_node =
       target.server != nullptr ? target.server->name() : "tape-server";
   StreamSession session(env, target.link, report->name, stream,
-                        target.supervision, report, server_node);
+                        target.supervision, report, server_node,
+                        target.qos.throttle);
   co_await session.Start();
 
   Channel<StreamChunk> chunks(env, cfg.pipeline_depth);
@@ -474,7 +479,8 @@ Task ReplayFromNet(ReplayConfig cfg, RemoteTarget target, const IoTrace* trace,
   const std::string server_node =
       target.server != nullptr ? target.server->name() : "tape-server";
   StreamSession session(env, target.link, report->name, stream,
-                        target.supervision, report, server_node);
+                        target.supervision, report, server_node,
+                        target.qos.throttle);
   co_await session.Start();
 
   SimEvent reader_done(env);
@@ -507,7 +513,8 @@ Task ReplayFromNetRanges(ReplayConfig cfg, RemoteTarget target,
   const std::string server_node =
       target.server != nullptr ? target.server->name() : "tape-server";
   StreamSession session(env, target.link, report->name, stream,
-                        target.supervision, report, server_node);
+                        target.supervision, report, server_node,
+                        target.qos.throttle);
   co_await session.Start();
 
   SimEvent reader_done(env);
@@ -532,6 +539,10 @@ ReplayConfig RemoteReplayConfig(Filer* filer, Volume* volume,
   cfg.filer = filer;
   cfg.volume = volume;
   cfg.supervision = target.supervision;
+  // The producer's disk/CPU charges demote, but the byte cap is enforced at
+  // the wire (StreamConn's per-frame acquire) — never both, or every byte
+  // would be drawn from the bucket twice.
+  cfg.qos.io_priority = target.qos.io_priority;
   return cfg;
 }
 
@@ -599,7 +610,8 @@ Task RemoteLogicalBackupJob(Filer* filer, Filesystem* fs, RemoteTarget target,
     co_return;
   }
   co_await SnapshotPhase(filer, &report, JobPhase::kCreateSnapshot,
-                         filer->model().snapshot_create_time);
+                         filer->model().snapshot_create_time,
+                         target.qos.io_priority);
 
   options.dump_time = env->now();
   if (target.supervision != nullptr &&
@@ -632,7 +644,8 @@ Task RemoteLogicalBackupJob(Filer* filer, Filesystem* fs, RemoteTarget target,
     report.status = del;
   }
   co_await SnapshotPhase(filer, &report, JobPhase::kDeleteSnapshot,
-                         filer->model().snapshot_delete_time);
+                         filer->model().snapshot_delete_time,
+                         target.qos.io_priority);
 
   report.end_time = env->now();
   report.cpu_busy_end = filer->cpu().BusyIntegral();
@@ -812,7 +825,8 @@ Task RemoteImageBackupJob(Filer* filer, Filesystem* fs, RemoteTarget target,
       co_return;
     }
     co_await SnapshotPhase(filer, &report, JobPhase::kCreateSnapshot,
-                           filer->model().snapshot_create_time);
+                           filer->model().snapshot_create_time,
+                           target.qos.io_priority);
   }
 
   options.dump_time = env->now();
@@ -836,7 +850,8 @@ Task RemoteImageBackupJob(Filer* filer, Filesystem* fs, RemoteTarget target,
       report.status = del;
     }
     co_await SnapshotPhase(filer, &report, JobPhase::kDeleteSnapshot,
-                           filer->model().snapshot_delete_time);
+                           filer->model().snapshot_delete_time,
+                           target.qos.io_priority);
   }
 
   report.end_time = env->now();
@@ -889,7 +904,7 @@ Task ParallelRemoteImageBackupJob(Filer* filer, Filesystem* fs, NetLink* link,
                                   bool delete_snapshot_after,
                                   const SupervisionPolicy* supervision,
                                   ParallelRemoteImageBackupResult* result,
-                                  CountdownLatch* done) {
+                                  CountdownLatch* done, BackupQos qos) {
   assert(!drives.empty());
   SimEnvironment* env = filer->env();
   JobReport& control = result->control;
@@ -908,7 +923,8 @@ Task ParallelRemoteImageBackupJob(Filer* filer, Filesystem* fs, NetLink* link,
       co_return;
     }
     co_await SnapshotPhase(filer, &control, JobPhase::kCreateSnapshot,
-                           filer->model().snapshot_create_time);
+                           filer->model().snapshot_create_time,
+                           qos.io_priority);
   }
 
   CountdownLatch parts_done(env, static_cast<int>(drives.size()));
@@ -923,6 +939,7 @@ Task ParallelRemoteImageBackupJob(Filer* filer, Filesystem* fs, NetLink* link,
     target.server = server;
     target.drive = drives[k];
     target.supervision = supervision;
+    target.qos = qos;
     result->parts.push_back(std::make_unique<ImageBackupJobResult>());
     env->Spawn(RemoteImagePart(filer, fs, target, options,
                                result->parts.back().get(), &parts_done));
@@ -935,7 +952,8 @@ Task ParallelRemoteImageBackupJob(Filer* filer, Filesystem* fs, NetLink* link,
       control.status = del;
     }
     co_await SnapshotPhase(filer, &control, JobPhase::kDeleteSnapshot,
-                           filer->model().snapshot_delete_time);
+                           filer->model().snapshot_delete_time,
+                           qos.io_priority);
   }
   control.end_time = env->now();
   control.cpu_busy_end = filer->cpu().BusyIntegral();

@@ -39,6 +39,11 @@ struct RemoteTarget {
   TapeDrive* drive = nullptr;
   std::vector<Tape*> spare_tapes;
   const SupervisionPolicy* supervision = nullptr;
+  // Backup QoS for jobs run against this target. The throttle paces the
+  // *wire* (every StreamConn of the session acquires each frame's bytes
+  // before transmitting — not the producer, so bytes are charged once);
+  // io_priority demotes the filer-side disk/CPU charges as for local jobs.
+  BackupQos qos;
 };
 
 // Snapshot create -> 4-phase dump, streamed over the link to the server's
@@ -97,6 +102,8 @@ struct ParallelRemoteImageBackupResult {
 // one shared snapshot, each part on its own stream session — all of them
 // contending for the same link, which is what makes the link the bottleneck
 // where local parallel physical dump scales with drives.
+// `qos` applies to every part; the parts' sessions share one throttle
+// bucket, so the cap bounds the aggregate link rate of the striped dump.
 Task ParallelRemoteImageBackupJob(Filer* filer, Filesystem* fs, NetLink* link,
                                   TapeServer* server,
                                   std::vector<TapeDrive*> drives,
@@ -104,7 +111,7 @@ Task ParallelRemoteImageBackupJob(Filer* filer, Filesystem* fs, NetLink* link,
                                   bool delete_snapshot_after,
                                   const SupervisionPolicy* supervision,
                                   ParallelRemoteImageBackupResult* result,
-                                  CountdownLatch* done);
+                                  CountdownLatch* done, BackupQos qos = {});
 
 }  // namespace bkup
 

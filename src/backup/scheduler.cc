@@ -357,7 +357,8 @@ Task NightlyScheduler::RunOne(size_t vol, int attempt,
       ParallelLogicalBackupResult result;
       env->Spawn(ParallelLogicalBackupJob(filer_, spec.fs, drives, subtrees,
                                           options, &result, &job_done,
-                                          config_.supervision, spares));
+                                          config_.supervision, spares,
+                                          config_.qos));
       co_await job_done.Wait();
       c.merged = result.merged;
       for (const auto& p : result.parts) {
@@ -373,7 +374,8 @@ Task NightlyScheduler::RunOne(size_t vol, int attempt,
       env->Spawn(ParallelImageBackupJob(filer_, spec.fs, drives, options,
                                         /*delete_snapshot_after=*/true,
                                         &result, &job_done,
-                                        config_.supervision, spares));
+                                        config_.supervision, spares,
+                                        config_.qos));
       co_await job_done.Wait();
       c.merged = result.merged;
       for (const auto& p : result.parts) {
@@ -389,7 +391,7 @@ Task NightlyScheduler::RunOne(size_t vol, int attempt,
       env->Spawn(ParallelRemoteImageBackupJob(
           filer_, spec.fs, config_.link, config_.server, drives, options,
           /*delete_snapshot_after=*/true, config_.supervision, &result,
-          &job_done));
+          &job_done, config_.qos));
       co_await job_done.Wait();
       c.merged = result.merged;
       for (const auto& p : result.parts) {

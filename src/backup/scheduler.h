@@ -111,6 +111,10 @@ struct FleetConfig {
   // `night_health` sample to the report. 0 disables the monitor. Sampling
   // is read-only — it never changes a dispatch decision.
   SimDuration health_sample_period = 30 * kSecond;
+  // Backup QoS applied to every dispatched job: all of the night's dumps
+  // share the one throttle bucket and run at the one scheduling class, so a
+  // fleet backing up behind live traffic caps its aggregate draw.
+  BackupQos qos;
 };
 
 // One drive grant in the static plan (BuildPlan) — volume k starts on

@@ -81,8 +81,9 @@ SimDuration Disk::AccessTime(Dbn dbn, uint64_t count) const {
   return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
 }
 
-Task Disk::TimedAccess(Dbn dbn, uint64_t count, Status* status) {
-  co_await arm_.Acquire();
+Task Disk::TimedAccess(Dbn dbn, uint64_t count, Status* status,
+                       int priority) {
+  co_await arm_.Acquire(1, priority);
   // Compute the access time under the arm so queued requests pay the seek
   // from wherever the previous request left the head.
   const SimDuration t = AccessTime(dbn, count);

@@ -79,8 +79,11 @@ class Disk {
   // Does not move data; pair it with ReadData/WriteData. If the drive is
   // failed (including a Fail() that lands while the access is in flight) or
   // an armed fault hook rejects the access, `*status` receives kIoError and
-  // the head/byte counters are left untouched.
-  Task TimedAccess(Dbn dbn, uint64_t count, Status* status = nullptr);
+  // the head/byte counters are left untouched. `priority` is the arm's
+  // scheduling class: background (1) accesses queue behind every foreground
+  // (0) request but cannot be preempted once the arm is held.
+  Task TimedAccess(Dbn dbn, uint64_t count, Status* status = nullptr,
+                   int priority = kPriorityForeground);
 
   // The arm as a resource, for utilization reporting.
   Resource& arm() { return arm_; }

@@ -262,7 +262,11 @@ void Filesystem::FreeFileBlocks(FileState* fs) {
 
 // =========================================================== live block read
 
-Status Filesystem::ReadFileBlockLive(FileState* fs, uint64_t fbn, Block* out) {
+Status Filesystem::ReadFileBlockLive(FileState* fs, uint64_t fbn, Block* out,
+                                     Vbn* vbn) {
+  if (vbn != nullptr) {
+    *vbn = 0;  // dirty state and holes cost no disk arm
+  }
   auto dirty = fs->dirty_blocks.find(fbn);
   if (dirty != fs->dirty_blocks.end()) {
     *out = dirty->second;
@@ -270,6 +274,9 @@ Status Filesystem::ReadFileBlockLive(FileState* fs, uint64_t fbn, Block* out) {
   }
   BKUP_RETURN_IF_ERROR(EnsurePtrsLoaded(fs));
   if (fbn < fs->ptrs.size() && fs->ptrs[fbn] != 0) {
+    if (vbn != nullptr) {
+      *vbn = fs->ptrs[fbn];
+    }
     return volume_->ReadBlock(fs->ptrs[fbn], out);
   }
   out->Zero();
@@ -760,7 +767,7 @@ Status Filesystem::Write(Inum inum, uint64_t offset,
 }
 
 Status Filesystem::Read(Inum inum, uint64_t offset, uint64_t length,
-                        std::vector<uint8_t>* out) {
+                        std::vector<uint8_t>* out, std::vector<Vbn>* vbns) {
   BKUP_ASSIGN_OR_RETURN(FileState * state, LoadFile(inum));
   if (!state->inode.in_use()) {
     return NotFound("inode not in use");
@@ -778,7 +785,11 @@ Status Filesystem::Read(Inum inum, uint64_t offset, uint64_t length,
     const uint64_t in_block = pos % kBlockSize;
     const uint64_t n =
         std::min<uint64_t>(kBlockSize - in_block, offset + length - pos);
-    BKUP_RETURN_IF_ERROR(ReadFileBlockLive(state, fbn, &block));
+    Vbn vbn = 0;
+    BKUP_RETURN_IF_ERROR(ReadFileBlockLive(state, fbn, &block, &vbn));
+    if (vbns != nullptr && vbn != 0) {
+      vbns->push_back(vbn);
+    }
     out->insert(out->end(), block.data.begin() + static_cast<long>(in_block),
                 block.data.begin() + static_cast<long>(in_block + n));
     pos += n;

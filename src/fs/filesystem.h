@@ -100,8 +100,11 @@ class Filesystem {
   Result<InodeData> GetAttr(Inum inum);
   Status SetAttr(Inum inum, const SetAttrRequest& request);
   Status Write(Inum inum, uint64_t offset, std::span<const uint8_t> data);
+  // With `vbns`, appends the volume block each read block came off — 0 for
+  // a block served from dirty in-memory state or a hole. The foreground
+  // load generator charges disk-arm time for exactly these blocks.
   Status Read(Inum inum, uint64_t offset, uint64_t length,
-              std::vector<uint8_t>* out);
+              std::vector<uint8_t>* out, std::vector<Vbn>* vbns = nullptr);
   Status Truncate(Inum inum, uint64_t new_size);
 
   // ------------------------------------------------- consistency points ---
@@ -188,7 +191,8 @@ class Filesystem {
   Result<Inum> LookupLocked(const std::string& path);
 
   // Reads a file block honoring dirty state, then disk, then holes.
-  Status ReadFileBlockLive(FileState* fs, uint64_t fbn, Block* out);
+  Status ReadFileBlockLive(FileState* fs, uint64_t fbn, Block* out,
+                           Vbn* vbn = nullptr);
 
   // CP plumbing.
   Status FlushFile(Inum inum, FileState* fs, CpReport* report);

@@ -56,6 +56,9 @@ Task StreamConn::SendRange(std::span<const uint8_t> stream, uint64_t begin,
       break;
     }
     const uint64_t n = std::min<uint64_t>(p.mtu_bytes, end - cursor);
+    if (throttle_ != nullptr) {
+      co_await throttle_->Acquire(n + kFrameHeaderBytes);
+    }
     const std::span<const uint8_t> payload = stream.subspan(cursor, n);
     StreamFrame frame;
     frame.seq = next_send_seq_++;

@@ -30,6 +30,7 @@
 #include "src/sim/channel.h"
 #include "src/sim/resource.h"
 #include "src/sim/task.h"
+#include "src/sim/throttle.h"
 #include "src/util/status.h"
 
 namespace bkup {
@@ -84,6 +85,15 @@ class StreamConn {
                      const std::string& receiver_node);
   const TraceContext& trace_context() const { return ctx_; }
 
+  // Backup QoS: pace SendRange from this token bucket — each frame acquires
+  // its wire bytes (payload + header) before entering the window, so a
+  // remote dump's link usage is capped at the bucket's rate even though the
+  // link itself could run faster. Null (the default) sends at link speed.
+  // Retransmits are not re-charged: the bucket shapes offered load, and a
+  // lossy wire's repair traffic is the link's cost, not the job's.
+  void set_throttle(BackupThrottle* throttle) { throttle_ = throttle; }
+  BackupThrottle* throttle() const { return throttle_; }
+
   // ----------------------------------------------------------- sender ---
 
   // Frames and transmits stream[begin, end). Returns (via *status) the
@@ -132,6 +142,7 @@ class StreamConn {
   bool pump_started_ = false;
   bool close_requested_ = false;
   TraceContext ctx_;
+  BackupThrottle* throttle_ = nullptr;  // optional send pacing (backup QoS)
   Tracer* tracer_ = nullptr;  // set by EnableTracing; null = no flow events
   uint32_t tx_track_ = 0;
   uint32_t rx_track_ = 0;

@@ -41,19 +41,26 @@ void Resource::Release(int64_t units) {
   AccountToNow();
   available_ += units;
   assert(available_ <= capacity_);
-  // Grant FIFO waiters that now fit. Strict FIFO: stop at the first waiter
-  // that does not fit, so large requests cannot be starved by small ones.
-  while (!waiters_.empty() && waiters_.front().units <= available_) {
-    Waiter w = waiters_.front();
-    waiters_.pop_front();
-    available_ -= w.units;
-    env_->ScheduleNow(w.handle);
+  // Grant waiters that now fit, foreground class first. Within a class the
+  // order is strict FIFO and granting stops at the first waiter that does
+  // not fit, so large requests cannot be starved by small ones. Background
+  // waiters are considered only while no foreground waiter is parked.
+  for (auto& queue : waiters_) {
+    while (!queue.empty() && queue.front().units <= available_) {
+      Waiter w = queue.front();
+      queue.pop_front();
+      available_ -= w.units;
+      env_->ScheduleNow(w.handle);
+    }
+    if (!queue.empty()) {
+      break;  // the blocked head of this class also blocks lower classes
+    }
   }
   NotifyObservers();
 }
 
-Task Resource::Use(int64_t units, SimDuration d) {
-  co_await Acquire(units);
+Task Resource::Use(int64_t units, SimDuration d, int priority) {
+  co_await Acquire(units, priority);
   co_await env_->Delay(d);
   Release(units);
 }

@@ -1,9 +1,18 @@
 // A counted resource with FIFO queuing, the building block for modeling the
 // filer's CPU and device arms. Tracks a busy-time integral so benchmark code
 // can report utilization over any window (the CPU % columns of Tables 3-5).
+//
+// Two scheduling classes support backup QoS (DESIGN.md §15): class 0
+// (foreground, the default) and class 1 (background). Within a class the
+// queue is strictly FIFO; across classes every queued foreground request is
+// served before any queued background request, and a foreground acquire may
+// overtake background waiters that were already parked. Background work can
+// therefore starve under sustained foreground load — which is exactly the
+// "backup never starves user traffic" contract.
 #ifndef BKUP_SIM_RESOURCE_H_
 #define BKUP_SIM_RESOURCE_H_
 
+#include <array>
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
@@ -31,6 +40,11 @@ class ResourceObserver {
                                 int64_t in_use) = 0;
 };
 
+// Scheduling classes for Acquire/Use. Lower is more urgent.
+inline constexpr int kPriorityForeground = 0;
+inline constexpr int kPriorityBackground = 1;
+inline constexpr int kNumResourcePriorities = 2;
+
 class Resource {
  public:
   Resource(SimEnvironment* env, int64_t capacity, std::string name)
@@ -46,41 +60,53 @@ class Resource {
   SimEnvironment* env() const { return env_; }
   int64_t capacity() const { return capacity_; }
   int64_t in_use() const { return capacity_ - available_; }
-  size_t queue_length() const { return waiters_.size(); }
+  size_t queue_length() const {
+    return waiters_[0].size() + waiters_[1].size();
+  }
 
   // Observation: the vector is empty in the common case, so the per-change
   // cost of the hook is one branch.
   void AddObserver(ResourceObserver* observer);
   void RemoveObserver(ResourceObserver* observer);
 
-  // Awaitable: obtains `units` of the resource, FIFO-fair.
+  // Awaitable: obtains `units` of the resource, FIFO-fair within its
+  // priority class. A foreground (0) acquire may overtake parked background
+  // waiters but never parked foreground ones; a background (1) acquire
+  // queues behind everything.
   //   co_await cpu.Acquire();
-  auto Acquire(int64_t units = 1) {
+  //   co_await arm.Acquire(1, kPriorityBackground);
+  auto Acquire(int64_t units = 1, int priority = kPriorityForeground) {
     struct Awaiter {
       Resource* res;
       int64_t units;
+      int priority;
       bool await_ready() {
-        if (res->waiters_.empty() && res->available_ >= units) {
+        if (res->QueuesEmptyThrough(priority) && res->available_ >= units) {
           res->Take(units);
           return true;
         }
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        res->waiters_.push_back(Waiter{units, h});
+        res->waiters_[priority].push_back(Waiter{units, h});
       }
       void await_resume() const noexcept {}
     };
     assert(units > 0 && units <= capacity_);
-    return Awaiter{this, units};
+    assert(priority >= 0 && priority < kNumResourcePriorities);
+    return Awaiter{this, units, priority};
   }
 
-  // Returns `units` and grants as many FIFO waiters as now fit.
+  // Returns `units` and grants waiters that now fit: all of class 0 first
+  // (strict FIFO, stopping at the first that does not fit so large requests
+  // cannot be starved by small ones), then class 1 only while class 0 is
+  // empty.
   void Release(int64_t units = 1);
 
   // Convenience process: hold `units` for `d` of simulated time.
   //   co_await cpu.Use(1, cost);
-  Task Use(int64_t units, SimDuration d);
+  Task Use(int64_t units, SimDuration d,
+           int priority = kPriorityForeground);
 
   // Integral of in_use over time, in unit-microseconds, up to `now`.
   // Utilization over [t0, t1] = (BusyIntegral@t1 - BusyIntegral@t0)
@@ -93,6 +119,17 @@ class Resource {
     std::coroutine_handle<> handle;
   };
 
+  // True when every waiter queue of class <= priority is empty — the gate a
+  // fresh acquire of that class must pass to take units immediately.
+  bool QueuesEmptyThrough(int priority) const {
+    for (int p = 0; p <= priority; ++p) {
+      if (!waiters_[p].empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   void Take(int64_t units);
   void AccountToNow() const;
   void NotifyObservers();
@@ -101,7 +138,7 @@ class Resource {
   int64_t capacity_;
   int64_t available_;
   std::string name_;
-  std::deque<Waiter> waiters_;
+  std::array<std::deque<Waiter>, kNumResourcePriorities> waiters_;
   std::vector<ResourceObserver*> observers_;
 
   // Busy accounting (mutable: reading the integral advances it to `now`).

@@ -1,0 +1,72 @@
+// A token-bucket rate limiter for backup QoS (DESIGN.md §15).
+//
+// `BackupThrottle` caps a dump's stream rate to an I/O share: producers call
+// `Acquire(bytes)` before moving bytes, and the awaiting coroutine sleeps in
+// simulated time until the bucket holds enough tokens. Requests are served
+// strictly FIFO through an internal gate so concurrent producers (parallel
+// dump parts, a stream sender) share the budget deterministically. A request
+// larger than the burst is legal — it waits for the exact deficit at the
+// refill rate — so chunk sizes never have to know the bucket depth.
+//
+// Lives in the sim layer (not obs/backup) so devices, jobs and the network
+// can all consult one throttle without a layering cycle; stats are a plain
+// struct the caller can export.
+#ifndef BKUP_SIM_THROTTLE_H_
+#define BKUP_SIM_THROTTLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/environment.h"
+#include "src/sim/resource.h"
+#include "src/sim/task.h"
+#include "src/util/units.h"
+
+namespace bkup {
+
+class BackupThrottle {
+ public:
+  struct Stats {
+    uint64_t requests = 0;            // Acquire calls completed
+    uint64_t bytes = 0;               // tokens consumed
+    uint64_t throttled_requests = 0;  // requests that had to sleep
+    SimDuration total_wait = 0;       // simulated time spent sleeping
+  };
+
+  // `bytes_per_s` <= 0 disables throttling (Acquire returns immediately).
+  // `burst_bytes` = 0 defaults the bucket depth to one second of rate.
+  BackupThrottle(SimEnvironment* env, double bytes_per_s,
+                 uint64_t burst_bytes = 0,
+                 std::string name = "backup.throttle");
+
+  BackupThrottle(const BackupThrottle&) = delete;
+  BackupThrottle& operator=(const BackupThrottle&) = delete;
+
+  // Awaitable: consumes `bytes` of budget, sleeping until the bucket can
+  // cover them. FIFO across concurrent callers.
+  Task Acquire(uint64_t bytes);
+
+  const std::string& name() const { return name_; }
+  double bytes_per_s() const { return rate_; }
+  double burst_bytes() const { return burst_; }
+  bool enabled() const { return rate_ > 0.0; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Credits tokens for the time elapsed since the last refill, capped at the
+  // burst depth.
+  void Refill();
+
+  SimEnvironment* env_;
+  std::string name_;
+  double rate_;   // tokens (bytes) per second
+  double burst_;  // bucket depth in bytes
+  double tokens_;
+  SimTime last_refill_ = 0;
+  Resource gate_;  // serializes concurrent acquirers FIFO
+  Stats stats_;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_SIM_THROTTLE_H_

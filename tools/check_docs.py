@@ -3,11 +3,17 @@
 
 Keeps the prose honest against the tree:
 
-  1. every library under src/ is described in docs/ARCHITECTURE.md;
+  1. every library under src/ has its own bold-header paragraph
+     (**`src/<lib>`...) in docs/ARCHITECTURE.md's Libraries section — a
+     passing mention elsewhere is not documentation;
   2. every "DESIGN.md §N" reference in source comments points at a
      section that actually exists in DESIGN.md;
   3. CHANGES.md carries one "- PR N:" entry per landed PR, contiguously
-     numbered (a PR that forgets its line fails the suite).
+     numbered (a PR that forgets its line fails the suite);
+  4. every committed baseline bench/baselines/BENCH_*.json is covered by
+     EXPERIMENTS.md (a bench without a write-up is an orphan artifact);
+  5. every relative link in README.md resolves to a file or directory
+     that exists in the tree.
 
 Usage: check_docs.py [repo_root]   (defaults to the parent of tools/)
 """
@@ -50,6 +56,10 @@ def check_architecture(root, errors):
         if "src/%s" % lib not in arch:
             errors.append(
                 "docs/ARCHITECTURE.md does not mention src/%s" % lib)
+        elif "**`src/%s`" % lib not in arch:
+            errors.append(
+                "docs/ARCHITECTURE.md has no '**`src/%s`' library "
+                "paragraph (a mention is not a description)" % lib)
 
 
 def design_sections(root):
@@ -102,6 +112,45 @@ def check_changes(root, errors):
             % (prs, missing))
 
 
+def check_baseline_experiments(root, errors):
+    """Every committed BENCH_*.json baseline needs an EXPERIMENTS.md entry."""
+    baselines_dir = os.path.join(root, "bench", "baselines")
+    if not os.path.isdir(baselines_dir):
+        return
+    exp_path = os.path.join(root, "EXPERIMENTS.md")
+    if not os.path.exists(exp_path):
+        errors.append("EXPERIMENTS.md does not exist")
+        return
+    with open(exp_path, encoding="utf-8") as f:
+        exp = f.read()
+    for name in sorted(os.listdir(baselines_dir)):
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            if name not in exp:
+                errors.append(
+                    "bench/baselines/%s is not covered by EXPERIMENTS.md "
+                    "(orphan baseline artifact)" % name)
+
+
+def check_readme_links(root, errors):
+    """Relative README links must resolve inside the tree."""
+    readme = os.path.join(root, "README.md")
+    if not os.path.exists(readme):
+        errors.append("README.md does not exist")
+        return
+    link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+    with open(readme, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for m in link_re.finditer(line):
+                target = m.group(1).split("#", 1)[0]
+                if not target or "://" in target or target.startswith(
+                        ("mailto:", "#")):
+                    continue
+                if not os.path.exists(os.path.join(root, target)):
+                    errors.append(
+                        "README.md:%d links to '%s', which does not exist"
+                        % (lineno, target))
+
+
 def main(argv):
     root = os.path.abspath(
         argv[1] if len(argv) > 1
@@ -110,6 +159,8 @@ def main(argv):
     check_architecture(root, errors)
     check_design_refs(root, errors)
     check_changes(root, errors)
+    check_baseline_experiments(root, errors)
+    check_readme_links(root, errors)
     if errors:
         return fail(errors)
     print("documentation checks OK")
