@@ -376,10 +376,131 @@ Task ReplayProducer(ReplayConfig cfg, const IoTrace* trace,
   }
 }
 
+Task ContentChunkAdapter(ReplayConfig cfg, const FrameMap* map,
+                         Channel<StreamChunk>* in, Channel<StreamChunk>* out,
+                         JobReport* report, SimEvent* done) {
+  const SimDuration cpu_per_mb = cfg.content.EncodeCpuPerMb();
+  uint64_t raw_done = 0;
+  uint64_t cpu_charged = 0;
+  uint64_t wire_sent = 0;
+  while (true) {
+    std::optional<StreamChunk> chunk = co_await in->Recv();
+    if (!chunk.has_value()) {
+      break;
+    }
+    // Encode CPU is priced per *raw* MB moved; the running total keeps the
+    // charge exact across chunks of any size.
+    raw_done += chunk->end - chunk->begin;
+    const uint64_t cpu_due =
+        static_cast<uint64_t>(cpu_per_mb) * raw_done / 1000000;
+    if (cpu_due > cpu_charged) {
+      co_await cfg.filer->cpu().Use(
+          1, static_cast<SimDuration>(cpu_due - cpu_charged),
+          cfg.qos.io_priority);
+      report->content.encode_cpu_us += cpu_due - cpu_charged;
+      cpu_charged = cpu_due;
+    }
+    const uint64_t wire_end = map->WireOf(chunk->end);
+    if (wire_end > wire_sent) {
+      // QoS paces post-stage wire bytes: the rate cap applies to what the
+      // tape or link actually moves, not the pre-compression stream.
+      if (cfg.qos.throttle != nullptr) {
+        co_await cfg.qos.throttle->Acquire(wire_end - wire_sent);
+      }
+      co_await out->Send(StreamChunk{wire_sent, wire_end, chunk->phase});
+      wire_sent = wire_end;
+    }
+  }
+  out->Close();
+  done->Notify();
+}
+
+Task ContentWatermarkAdapter(ReplayConfig cfg, const FrameMap* map,
+                             std::vector<StreamRange> wire_ranges,
+                             Channel<uint64_t>* in, Channel<uint64_t>* out,
+                             JobReport* report, SimEvent* done) {
+  if (wire_ranges.empty()) {
+    wire_ranges.push_back(StreamRange{0, map->wire_total()});
+  }
+  const SimDuration cpu_per_mb = cfg.content.DecodeCpuPerMb();
+  size_t range = 0;          // first range the watermark has not passed
+  uint64_t completed_raw = 0;  // raw size of fully delivered ranges
+  uint64_t cpu_charged = 0;
+  while (true) {
+    std::optional<uint64_t> watermark = co_await in->Recv();
+    if (!watermark.has_value()) {
+      break;
+    }
+    const uint64_t wire = *watermark;
+    while (range < wire_ranges.size() && wire >= wire_ranges[range].end) {
+      completed_raw += map->RawSizeOfWireRange(wire_ranges[range]);
+      ++range;
+    }
+    // Raw bytes the ranges have actually moved so far — NOT RawAvailable
+    // of the global offset, which would bill decode CPU for skipped gaps
+    // in a resumed or single-file replay.
+    uint64_t moved_raw = completed_raw;
+    if (range < wire_ranges.size() && wire > wire_ranges[range].begin) {
+      moved_raw += map->RawAvailable(wire) -
+                   map->RawAvailable(wire_ranges[range].begin);
+    }
+    const uint64_t cpu_due =
+        static_cast<uint64_t>(cpu_per_mb) * moved_raw / 1000000;
+    if (cpu_due > cpu_charged) {
+      co_await cfg.filer->cpu().Use(
+          1, static_cast<SimDuration>(cpu_due - cpu_charged),
+          cfg.qos.io_priority);
+      report->content.decode_cpu_us += cpu_due - cpu_charged;
+      cpu_charged = cpu_due;
+    }
+    co_await out->Send(map->RawAvailable(wire));
+  }
+  out->Close();
+  done->Notify();
+}
+
 Task ReplayToTape(ReplayConfig cfg, const IoTrace* trace,
                   std::span<const uint8_t> stream, JobReport* report,
                   CountdownLatch* done) {
   SimEnvironment* env = cfg.filer->env();
+  if (cfg.content.enabled()) {
+    // Encode once, functionally; the tape stores the wire image while the
+    // producer still replays the engine's raw-coordinate trace.
+    Result<EncodeResult> encoded = StagePipeline(cfg.content).Encode(stream);
+    if (!encoded.ok()) {
+      if (report->status.ok()) {
+        report->status = encoded.status();
+      }
+      done->CountDown();
+      co_return;
+    }
+    const std::vector<uint8_t> wire = std::move(encoded->wire);
+    const FrameMap map = std::move(encoded->map);
+    report->content.Add(encoded->stats);
+
+    Channel<StreamChunk> raw_channel(env, cfg.pipeline_depth);
+    Channel<StreamChunk> wire_channel(env, cfg.pipeline_depth);
+    SimEvent writer_done(env);
+    SimEvent adapter_done(env);
+    env->Spawn(TapeWriterProc(cfg, wire, &wire_channel, report,
+                              &writer_done));
+    env->Spawn(ContentChunkAdapter(cfg, &map, &raw_channel, &wire_channel,
+                                   report, &adapter_done));
+    // The adapter owns the throttle (wire-byte pacing); the producer must
+    // not also acquire raw bytes from the same bucket.
+    ReplayConfig producer_cfg = cfg;
+    producer_cfg.qos.throttle = nullptr;
+    PhaseSpanner spans(env, report->name);
+    co_await ReplayProducer(producer_cfg, trace, &raw_channel, &spans,
+                            report);
+    raw_channel.Close();
+    co_await adapter_done.Wait();
+    co_await writer_done.Wait();
+    spans.Close();
+    report->stream_bytes += stream.size();
+    done->CountDown();
+    co_return;
+  }
   Channel<StreamChunk> channel(env, cfg.pipeline_depth);
   SimEvent writer_done(env);
   env->Spawn(TapeWriterProc(cfg, stream, &channel, report, &writer_done));
@@ -417,9 +538,16 @@ Task ReplayConsumer(ReplayConfig cfg, const IoTrace* trace,
       available = *watermark;
     }
     report->TouchPhase(e.phase, env->now(), cfg.filer->cpu().BusyIntegral());
-    report->phase(e.phase).tape_bytes += e.stream_end - consumed;
+    // With content stages, the tape/link moved wire bytes: attribute the
+    // event's share in wire coordinates (exact at frame boundaries).
+    uint64_t delta = e.stream_end - consumed;
+    if (cfg.content_map != nullptr) {
+      delta = cfg.content_map->WireOf(e.stream_end) -
+              cfg.content_map->WireOf(consumed);
+    }
+    report->phase(e.phase).tape_bytes += delta;
     if (cfg.count_net_bytes) {
-      report->phase(e.phase).net_bytes += e.stream_end - consumed;
+      report->phase(e.phase).net_bytes += delta;
     }
     consumed = e.stream_end;
 
@@ -461,6 +589,27 @@ Task ReplayFromTape(ReplayConfig cfg, const IoTrace* trace,
                     uint64_t stream_bytes, JobReport* report,
                     CountdownLatch* done) {
   SimEnvironment* env = cfg.filer->env();
+  if (cfg.content_map != nullptr) {
+    // The tape holds the wire image: read wire_total bytes, translate the
+    // reader's wire watermarks back to raw for the consumer, charging the
+    // decode stages' CPU along the way.
+    Channel<uint64_t> wire_channel(env, cfg.pipeline_depth);
+    Channel<uint64_t> raw_channel(env, cfg.pipeline_depth);
+    SimEvent adapter_done(env);
+    env->Spawn(TapeReaderProc(cfg, cfg.content_map->wire_total(),
+                              &wire_channel, report));
+    env->Spawn(ContentWatermarkAdapter(cfg, cfg.content_map, {},
+                                       &wire_channel, &raw_channel, report,
+                                       &adapter_done));
+    PhaseSpanner spans(env, report->name);
+    co_await ReplayConsumer(cfg, trace, stream_bytes, &raw_channel, &spans,
+                            report);
+    co_await adapter_done.Wait();
+    spans.Close();
+    report->stream_bytes += stream_bytes;
+    done->CountDown();
+    co_return;
+  }
   Channel<uint64_t> channel(env, cfg.pipeline_depth);
   env->Spawn(TapeReaderProc(cfg, stream_bytes, &channel, report));
 
@@ -476,6 +625,32 @@ Task ReplayFromTapeRanges(ReplayConfig cfg, const IoTrace* trace,
                           uint64_t stream_bytes, JobReport* report,
                           CountdownLatch* done) {
   SimEnvironment* env = cfg.filer->env();
+  if (cfg.content_map != nullptr) {
+    // Resume/catalog offsets are raw; the tape holds wire frames. Translate
+    // to the frame-aligned wire cover and read only that — the bounded-
+    // replay guarantee now stated in post-stage coordinates.
+    std::vector<StreamRange> wire_ranges =
+        cfg.content_map->WireRangesOf(ranges);
+    uint64_t moved = 0;
+    for (const StreamRange& r : wire_ranges) {
+      moved += r.size();
+    }
+    Channel<uint64_t> wire_channel(env, cfg.pipeline_depth);
+    Channel<uint64_t> raw_channel(env, cfg.pipeline_depth);
+    SimEvent adapter_done(env);
+    env->Spawn(RangedTapeReaderProc(cfg, wire_ranges, &wire_channel, report));
+    env->Spawn(ContentWatermarkAdapter(cfg, cfg.content_map,
+                                       std::move(wire_ranges), &wire_channel,
+                                       &raw_channel, report, &adapter_done));
+    PhaseSpanner spans(env, report->name);
+    co_await ReplayConsumer(cfg, trace, stream_bytes, &raw_channel, &spans,
+                            report);
+    co_await adapter_done.Wait();
+    spans.Close();
+    report->stream_bytes += moved;
+    done->CountDown();
+    co_return;
+  }
   uint64_t moved = 0;
   for (const StreamRange& r : ranges) {
     moved += r.size();
@@ -519,7 +694,8 @@ Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                       LogicalDumpOptions options,
                       LogicalBackupJobResult* result, CountdownLatch* done,
                       std::vector<Tape*> spare_tapes,
-                      const SupervisionPolicy* supervision, BackupQos qos) {
+                      const SupervisionPolicy* supervision, BackupQos qos,
+                      ContentConfig content) {
   SimEnvironment* env = filer->env();
   JobReport& report = result->report;
   report.name = "Logical backup";
@@ -566,6 +742,7 @@ Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
   cfg.spare_tapes = std::move(spare_tapes);
   cfg.supervision = supervision;
   cfg.qos = qos;
+  cfg.content = content;
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayToTape(cfg, &result->dump.trace, result->dump.stream,
                           &report, &replay_done));
@@ -589,7 +766,8 @@ Task LogicalRestoreJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                        LogicalRestoreOptions options, bool bypass_nvram,
                        LogicalRestoreJobResult* result, CountdownLatch* done,
                        std::vector<Tape*> spare_tapes,
-                       const SupervisionPolicy* supervision) {
+                       const SupervisionPolicy* supervision,
+                       ContentConfig content) {
   SimEnvironment* env = filer->env();
   JobReport& report = result->report;
   report.name = bypass_nvram ? "Logical restore (NVRAM bypass)"
@@ -612,6 +790,30 @@ Task LogicalRestoreJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                      t->contents().end());
     }
     stream = spanned;
+  }
+
+  // With content stages, the media hold the wire image: invert the pipeline
+  // first (verifying every store-backed frame) so the restore engine sees
+  // the exact raw stream the dump produced.
+  FrameMap content_map;
+  std::vector<uint8_t> decoded;
+  if (content.enabled()) {
+    Result<FrameMap> map = FrameMap::FromWire(stream);
+    if (!map.ok()) {
+      report.status = map.status();
+      done->CountDown();
+      co_return;
+    }
+    Result<std::vector<uint8_t>> raw =
+        StagePipeline(content).Decode(stream, &report.content);
+    if (!raw.ok()) {
+      report.status = raw.status();
+      done->CountDown();
+      co_return;
+    }
+    content_map = std::move(*map);
+    decoded = std::move(*raw);
+    stream = decoded;
   }
 
   fs->MarkCpCounters();
@@ -639,6 +841,10 @@ Task LogicalRestoreJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
       data_writes > 0
           ? static_cast<double>(meta_writes) / static_cast<double>(data_writes)
           : 0.5;
+  if (content.enabled()) {
+    cfg.content = content;
+    cfg.content_map = &content_map;
+  }
 
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayFromTape(cfg, &result->restore.trace, stream.size(),
@@ -676,7 +882,32 @@ Task ResumableLogicalRestoreJob(Filer* filer, std::unique_ptr<Filesystem>* fs,
     co_return;
   }
   // Single-media only: the ranged reads address the mounted tape directly.
-  const std::span<const uint8_t> stream = tape->tape()->contents();
+  std::span<const uint8_t> stream = tape->tape()->contents();
+
+  // Decode the wire image once (it is a pure function of the media); each
+  // incarnation's ranged replay still pays tape and decode CPU only for the
+  // wire frames its resume actually needs.
+  FrameMap content_map;
+  std::vector<uint8_t> decoded;
+  const bool has_content = resume.content.enabled();
+  if (has_content) {
+    Result<FrameMap> map = FrameMap::FromWire(stream);
+    if (!map.ok()) {
+      report.status = map.status();
+      done->CountDown();
+      co_return;
+    }
+    Result<std::vector<uint8_t>> raw =
+        StagePipeline(resume.content).Decode(stream, &report.content);
+    if (!raw.ok()) {
+      report.status = raw.status();
+      done->CountDown();
+      co_return;
+    }
+    content_map = std::move(*map);
+    decoded = std::move(*raw);
+    stream = decoded;
+  }
 
   options.catalog = resume.catalog;
   options.kill = resume.kill;
@@ -726,6 +957,10 @@ Task ResumableLogicalRestoreJob(Filer* filer, std::unique_ptr<Filesystem>* fs,
         data_writes > 0 ? static_cast<double>(meta_writes) /
                               static_cast<double>(data_writes)
                         : 0.5;
+    if (has_content) {
+      cfg.content = resume.content;
+      cfg.content_map = &content_map;
+    }
     CountdownLatch replay_done(env, 1);
     env->Spawn(ReplayFromTapeRanges(cfg, &restored->trace,
                                     restored->consumed_ranges, stream.size(),
@@ -799,7 +1034,8 @@ Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                     ImageDumpOptions options, bool delete_snapshot_after,
                     ImageBackupJobResult* result, CountdownLatch* done,
                     std::vector<Tape*> spare_tapes,
-                    const SupervisionPolicy* supervision, BackupQos qos) {
+                    const SupervisionPolicy* supervision, BackupQos qos,
+                    ContentConfig content) {
   SimEnvironment* env = filer->env();
   JobReport& report = result->report;
   report.name = "Physical backup";
@@ -839,6 +1075,7 @@ Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
   cfg.spare_tapes = std::move(spare_tapes);
   cfg.supervision = supervision;
   cfg.qos = qos;
+  cfg.content = content;
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayToTape(cfg, &result->dump.trace, result->dump.stream,
                           &report, &replay_done));
@@ -863,7 +1100,8 @@ Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
 Task ImageRestoreJob(Filer* filer, Volume* volume, TapeDrive* tape,
                      ImageRestoreJobResult* result, CountdownLatch* done,
                      std::vector<Tape*> spare_tapes,
-                     const SupervisionPolicy* supervision) {
+                     const SupervisionPolicy* supervision,
+                     ContentConfig content) {
   SimEnvironment* env = filer->env();
   JobReport& report = result->report;
   report.name = "Physical restore";
@@ -886,6 +1124,26 @@ Task ImageRestoreJob(Filer* filer, Volume* volume, TapeDrive* tape,
     }
     stream = spanned;
   }
+  FrameMap content_map;
+  std::vector<uint8_t> decoded;
+  if (content.enabled()) {
+    Result<FrameMap> map = FrameMap::FromWire(stream);
+    if (!map.ok()) {
+      report.status = map.status();
+      done->CountDown();
+      co_return;
+    }
+    Result<std::vector<uint8_t>> raw =
+        StagePipeline(content).Decode(stream, &report.content);
+    if (!raw.ok()) {
+      report.status = raw.status();
+      done->CountDown();
+      co_return;
+    }
+    content_map = std::move(*map);
+    decoded = std::move(*raw);
+    stream = decoded;
+  }
   Result<ImageRestoreOutput> restored = RunImageRestore(volume, stream);
   if (!restored.ok()) {
     report.status = restored.status();
@@ -902,6 +1160,10 @@ Task ImageRestoreJob(Filer* filer, Volume* volume, TapeDrive* tape,
   cfg.supervision = supervision;
   cfg.charge_nvram = false;  // "bypass the NVRAM ... further enhancing
                              // performance"
+  if (content.enabled()) {
+    cfg.content = content;
+    cfg.content_map = &content_map;
+  }
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayFromTape(cfg, &result->restore.trace, stream.size(),
                             &report, &replay_done));

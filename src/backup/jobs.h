@@ -22,6 +22,7 @@
 #include "src/backup/charge.h"
 #include "src/backup/filer.h"
 #include "src/backup/report.h"
+#include "src/content/content.h"
 #include "src/block/tape.h"
 #include "src/dump/logical_dump.h"
 #include "src/dump/logical_restore.h"
@@ -78,6 +79,16 @@ struct ReplayConfig {
   // Backup QoS: stream-rate cap and device scheduling class for every charge
   // this replay makes (see BackupQos above).
   BackupQos qos;
+  // Content stages (DESIGN.md §16). Backup side: ReplayToTape/ReplayToNet
+  // encode the stream when any stage is enabled, so tapes and links move
+  // *wire* bytes and the throttle paces post-stage rates.
+  ContentConfig content;
+  // Restore side: the wire image's coordinate map. When set, the tape/net
+  // readers move wire bytes, watermarks are translated back to raw through
+  // a ContentWatermarkAdapter, and per-phase tape/net byte counts are wire
+  // deltas. The caller decodes the wire image before replay (the engines
+  // always see raw bytes).
+  const FrameMap* content_map = nullptr;
 };
 
 // ------------------------------------------------ replay building blocks ---
@@ -126,6 +137,25 @@ Task ReplayProducer(ReplayConfig cfg, const IoTrace* trace,
 Task ReplayConsumer(ReplayConfig cfg, const IoTrace* trace,
                     uint64_t stream_bytes, Channel<uint64_t>* arrived,
                     PhaseSpanner* spans, JobReport* report);
+
+// Content-stage adapters: spliced between the replay halves when content
+// stages are on. The chunk adapter translates raw producer chunks into wire
+// chunks through the FrameMap, charging the enabled encode stages' CPU per
+// raw MB at the replay's priority and pacing the QoS throttle on the
+// post-stage wire bytes (the producer's own throttle must be cleared).
+// Closes `out` and notifies `done` when `in` drains.
+Task ContentChunkAdapter(ReplayConfig cfg, const FrameMap* map,
+                         Channel<StreamChunk>* in, Channel<StreamChunk>* out,
+                         JobReport* report, SimEvent* done);
+
+// The inverse: wire-offset watermarks from a tape/net reader become raw
+// watermarks for ReplayConsumer. Decode CPU is charged only for raw bytes
+// the wire ranges actually moved — a resumed or single-file replay never
+// pays decode for skipped gaps. Empty `wire_ranges` means the whole stream.
+Task ContentWatermarkAdapter(ReplayConfig cfg, const FrameMap* map,
+                             std::vector<StreamRange> wire_ranges,
+                             Channel<uint64_t>* in, Channel<uint64_t>* out,
+                             JobReport* report, SimEvent* done);
 
 // Retry/remount ladder for a failed tape write of stream[begin, end). On
 // entry *st holds the error; transient errors back off and re-issue, and an
@@ -178,7 +208,7 @@ Task LogicalBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                       LogicalBackupJobResult* result, CountdownLatch* done,
                       std::vector<Tape*> spare_tapes = {},
                       const SupervisionPolicy* supervision = nullptr,
-                      BackupQos qos = {});
+                      BackupQos qos = {}, ContentConfig content = {});
 
 struct LogicalRestoreJobResult {
   LogicalRestoreOutput restore;
@@ -192,7 +222,8 @@ Task LogicalRestoreJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                        LogicalRestoreOptions options, bool bypass_nvram,
                        LogicalRestoreJobResult* result, CountdownLatch* done,
                        std::vector<Tape*> spare_tapes = {},
-                       const SupervisionPolicy* supervision = nullptr);
+                       const SupervisionPolicy* supervision = nullptr,
+                       ContentConfig content = {});
 
 // Crash-resumable restore: how the supervised job recovers a killed restore
 // process.
@@ -207,6 +238,11 @@ struct ResumableRestoreConfig {
   // Model the full reboot: drop the in-memory file system between attempts
   // and remount the volume's last consistency point.
   bool remount_between_attempts = true;
+  // Content stages the backup ran: the tape holds a wire image, which each
+  // incarnation decodes before resuming; catalog offsets stay raw, replay
+  // ranges are translated to post-stage wire coordinates through the
+  // FrameMap.
+  ContentConfig content;
 };
 
 struct ResumableRestoreJobResult {
@@ -243,7 +279,7 @@ Task ImageBackupJob(Filer* filer, Filesystem* fs, TapeDrive* tape,
                     ImageBackupJobResult* result, CountdownLatch* done,
                     std::vector<Tape*> spare_tapes = {},
                     const SupervisionPolicy* supervision = nullptr,
-                    BackupQos qos = {});
+                    BackupQos qos = {}, ContentConfig content = {});
 
 struct ImageRestoreJobResult {
   ImageRestoreOutput restore;
@@ -256,7 +292,8 @@ struct ImageRestoreJobResult {
 Task ImageRestoreJob(Filer* filer, Volume* volume, TapeDrive* tape,
                      ImageRestoreJobResult* result, CountdownLatch* done,
                      std::vector<Tape*> spare_tapes = {},
-                     const SupervisionPolicy* supervision = nullptr);
+                     const SupervisionPolicy* supervision = nullptr,
+                     ContentConfig content = {});
 
 // Charges a snapshot create/delete window (~30 s at ~50% CPU) and records
 // it as `phase` in the report. Exposed for composed multi-tape jobs. The

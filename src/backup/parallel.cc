@@ -12,7 +12,8 @@ namespace {
 Task LogicalPart(Filer* filer, Filesystem* fs, TapeDrive* drive,
                  LogicalDumpOptions options, LogicalBackupJobResult* part,
                  CountdownLatch* latch, const SupervisionPolicy* supervision,
-                 std::vector<Tape*> spare_tapes, BackupQos qos) {
+                 std::vector<Tape*> spare_tapes, BackupQos qos,
+                 ContentConfig content) {
   SimEnvironment* env = filer->env();
   JobReport& report = part->report;
   report.name = "Logical backup [" + options.subtree + "]";
@@ -44,6 +45,7 @@ Task LogicalPart(Filer* filer, Filesystem* fs, TapeDrive* drive,
   cfg.spare_tapes = std::move(spare_tapes);
   cfg.supervision = supervision;
   cfg.qos = qos;
+  cfg.content = content;
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayToTape(cfg, &part->dump.trace, part->dump.stream, &report,
                           &replay_done));
@@ -58,7 +60,8 @@ Task LogicalPart(Filer* filer, Filesystem* fs, TapeDrive* drive,
 Task ImagePart(Filer* filer, Filesystem* fs, TapeDrive* drive,
                ImageDumpOptions options, ImageBackupJobResult* part,
                CountdownLatch* latch, const SupervisionPolicy* supervision,
-               std::vector<Tape*> spare_tapes, BackupQos qos) {
+               std::vector<Tape*> spare_tapes, BackupQos qos,
+               ContentConfig content) {
   SimEnvironment* env = filer->env();
   JobReport& report = part->report;
   report.name = "Physical backup [part " +
@@ -82,6 +85,7 @@ Task ImagePart(Filer* filer, Filesystem* fs, TapeDrive* drive,
   cfg.spare_tapes = std::move(spare_tapes);
   cfg.supervision = supervision;
   cfg.qos = qos;
+  cfg.content = content;
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayToTape(cfg, &part->dump.trace, part->dump.stream, &report,
                           &replay_done));
@@ -123,7 +127,7 @@ Task ParallelLogicalBackupJob(Filer* filer, Filesystem* fs,
                               CountdownLatch* done,
                               const SupervisionPolicy* supervision,
                               std::vector<std::vector<Tape*>> spare_tapes,
-                              BackupQos qos) {
+                              BackupQos qos, ContentConfig content) {
   assert(drives.size() == subtrees.size() && !drives.empty());
   SimEnvironment* env = filer->env();
   JobReport& control = result->control;
@@ -152,7 +156,8 @@ Task ParallelLogicalBackupJob(Filer* filer, Filesystem* fs,
     result->parts.push_back(std::make_unique<LogicalBackupJobResult>());
     env->Spawn(LogicalPart(filer, fs, drives[k], options,
                            result->parts.back().get(), &parts_done,
-                           supervision, SpareSlice(spare_tapes, k), qos));
+                           supervision, SpareSlice(spare_tapes, k), qos,
+                           content));
   }
   co_await parts_done.Wait();
 
@@ -177,7 +182,7 @@ Task ParallelLogicalRestoreJob(Filer* filer, Filesystem* fs,
                                std::vector<std::string> target_dirs,
                                bool bypass_nvram,
                                ParallelLogicalRestoreResult* result,
-                               CountdownLatch* done) {
+                               CountdownLatch* done, ContentConfig content) {
   assert(drives.size() == target_dirs.size() && !drives.empty());
   SimEnvironment* env = filer->env();
   CountdownLatch parts_done(env, static_cast<int>(drives.size()));
@@ -194,7 +199,8 @@ Task ParallelLogicalRestoreJob(Filer* filer, Filesystem* fs,
     options.target_dir = target_dirs[k];
     result->parts.push_back(std::make_unique<LogicalRestoreJobResult>());
     env->Spawn(LogicalRestoreJob(filer, fs, drives[k], options, bypass_nvram,
-                                 result->parts.back().get(), &parts_done));
+                                 result->parts.back().get(), &parts_done, {},
+                                 nullptr, content));
   }
   co_await parts_done.Wait();
   std::vector<JobReport> reports;
@@ -213,7 +219,7 @@ Task ParallelImageBackupJob(Filer* filer, Filesystem* fs,
                             CountdownLatch* done,
                             const SupervisionPolicy* supervision,
                             std::vector<std::vector<Tape*>> spare_tapes,
-                            BackupQos qos) {
+                            BackupQos qos, ContentConfig content) {
   assert(!drives.empty());
   SimEnvironment* env = filer->env();
   JobReport& control = result->control;
@@ -246,7 +252,8 @@ Task ParallelImageBackupJob(Filer* filer, Filesystem* fs,
     result->parts.push_back(std::make_unique<ImageBackupJobResult>());
     env->Spawn(ImagePart(filer, fs, drives[k], options,
                          result->parts.back().get(), &parts_done,
-                         supervision, SpareSlice(spare_tapes, k), qos));
+                         supervision, SpareSlice(spare_tapes, k), qos,
+                         content));
   }
   co_await parts_done.Wait();
 
@@ -273,14 +280,15 @@ Task ParallelImageBackupJob(Filer* filer, Filesystem* fs,
 Task ParallelImageRestoreJob(Filer* filer, Volume* volume,
                              std::vector<TapeDrive*> drives,
                              ParallelImageRestoreResult* result,
-                             CountdownLatch* done) {
+                             CountdownLatch* done, ContentConfig content) {
   assert(!drives.empty());
   SimEnvironment* env = filer->env();
   CountdownLatch parts_done(env, static_cast<int>(drives.size()));
   for (TapeDrive* drive : drives) {
     result->parts.push_back(std::make_unique<ImageRestoreJobResult>());
     env->Spawn(ImageRestoreJob(filer, volume, drive,
-                               result->parts.back().get(), &parts_done));
+                               result->parts.back().get(), &parts_done, {},
+                               nullptr, content));
   }
   co_await parts_done.Wait();
   std::vector<JobReport> reports;

@@ -31,7 +31,9 @@ struct ParallelLogicalBackupResult {
 // src/backup/supervisor, drawing remount media from `spare_tapes[k]` (the
 // per-drive slice of the stacker; may be shorter than `drives`). `qos`
 // applies to every part: the parts share one throttle bucket, so the cap
-// bounds the *aggregate* stream rate of the parallel dump.
+// bounds the *aggregate* stream rate of the parallel dump. `content`
+// applies to every part too; with dedup on, the parts share the one
+// ChunkIndex, so a chunk first seen by part j dedups in part k.
 Task ParallelLogicalBackupJob(Filer* filer, Filesystem* fs,
                               std::vector<TapeDrive*> drives,
                               std::vector<std::string> subtrees,
@@ -40,7 +42,7 @@ Task ParallelLogicalBackupJob(Filer* filer, Filesystem* fs,
                               CountdownLatch* done,
                               const SupervisionPolicy* supervision = nullptr,
                               std::vector<std::vector<Tape*>> spare_tapes = {},
-                              BackupQos qos = {});
+                              BackupQos qos = {}, ContentConfig content = {});
 
 struct ParallelLogicalRestoreResult {
   std::vector<std::unique_ptr<LogicalRestoreJobResult>> parts;
@@ -48,13 +50,14 @@ struct ParallelLogicalRestoreResult {
 };
 
 // Restores N subtree tapes into one file system concurrently; tape k is
-// restored into target_dirs[k] (created if missing).
+// restored into target_dirs[k] (created if missing). `content` must match
+// the config the backup ran with (same stages, same ChunkIndex).
 Task ParallelLogicalRestoreJob(Filer* filer, Filesystem* fs,
                                std::vector<TapeDrive*> drives,
                                std::vector<std::string> target_dirs,
                                bool bypass_nvram,
                                ParallelLogicalRestoreResult* result,
-                               CountdownLatch* done);
+                               CountdownLatch* done, ContentConfig content = {});
 
 struct ParallelImageBackupResult {
   std::vector<std::unique_ptr<ImageBackupJobResult>> parts;
@@ -73,7 +76,7 @@ Task ParallelImageBackupJob(Filer* filer, Filesystem* fs,
                             CountdownLatch* done,
                             const SupervisionPolicy* supervision = nullptr,
                             std::vector<std::vector<Tape*>> spare_tapes = {},
-                            BackupQos qos = {});
+                            BackupQos qos = {}, ContentConfig content = {});
 
 struct ParallelImageRestoreResult {
   std::vector<std::unique_ptr<ImageRestoreJobResult>> parts;
@@ -84,7 +87,7 @@ struct ParallelImageRestoreResult {
 Task ParallelImageRestoreJob(Filer* filer, Volume* volume,
                              std::vector<TapeDrive*> drives,
                              ParallelImageRestoreResult* result,
-                             CountdownLatch* done);
+                             CountdownLatch* done, ContentConfig content = {});
 
 }  // namespace bkup
 

@@ -445,7 +445,31 @@ Task ReplayToNet(ReplayConfig cfg, RemoteTarget target, const IoTrace* trace,
   const std::string track = "net:" + target.link->name();
   const std::string server_node =
       target.server != nullptr ? target.server->name() : "tape-server";
-  StreamSession session(env, target.link, report->name, stream,
+
+  // Content stages encode on the filer before the link: the session ships
+  // the wire image, so the StreamConn throttle, the acked floor and any
+  // reconnect resend all operate in post-stage coordinates — and a resend
+  // replays already-encoded bytes without re-charging encode CPU.
+  const bool content = target.content.enabled();
+  std::vector<uint8_t> wire;
+  FrameMap map;
+  std::span<const uint8_t> wire_view = stream;
+  if (content) {
+    Result<EncodeResult> encoded = StagePipeline(target.content).Encode(stream);
+    if (!encoded.ok()) {
+      if (report->status.ok()) {
+        report->status = encoded.status();
+      }
+      done->CountDown();
+      co_return;
+    }
+    wire = std::move(encoded->wire);
+    map = std::move(encoded->map);
+    report->content.Add(encoded->stats);
+    wire_view = wire;
+  }
+
+  StreamSession session(env, target.link, report->name, wire_view,
                         target.supervision, report, server_node,
                         target.qos.throttle);
   co_await session.Start();
@@ -453,15 +477,26 @@ Task ReplayToNet(ReplayConfig cfg, RemoteTarget target, const IoTrace* trace,
   Channel<StreamChunk> chunks(env, cfg.pipeline_depth);
   SimEvent writer_done(env);
   SimEvent sender_done(env);
-  env->Spawn(RemoteTapeWriterProc(cfg.filer, target, stream, &session.conns(),
-                                  cfg.chunk_bytes, report, &writer_done,
-                                  server_node, session.ctx()));
+  env->Spawn(RemoteTapeWriterProc(cfg.filer, target, wire_view,
+                                  &session.conns(), cfg.chunk_bytes, report,
+                                  &writer_done, server_node, session.ctx()));
   env->Spawn(NetSenderProc(cfg.filer, &session, &chunks, track, report,
                            &sender_done));
 
   PhaseSpanner spans(env, report->name);
-  co_await ReplayProducer(cfg, trace, &chunks, &spans, report);
-  chunks.Close();
+  if (content) {
+    cfg.content = target.content;
+    Channel<StreamChunk> raw_chunks(env, cfg.pipeline_depth);
+    SimEvent adapter_done(env);
+    env->Spawn(ContentChunkAdapter(cfg, &map, &raw_chunks, &chunks, report,
+                                   &adapter_done));
+    co_await ReplayProducer(cfg, trace, &raw_chunks, &spans, report);
+    raw_chunks.Close();
+    co_await adapter_done.Wait();
+  } else {
+    co_await ReplayProducer(cfg, trace, &chunks, &spans, report);
+    chunks.Close();
+  }
   co_await sender_done.Wait();
   co_await writer_done.Wait();
   spans.Close();
@@ -478,6 +513,12 @@ Task ReplayFromNet(ReplayConfig cfg, RemoteTarget target, const IoTrace* trace,
   SimEnvironment* env = cfg.filer->env();
   const std::string server_node =
       target.server != nullptr ? target.server->name() : "tape-server";
+  // With content stages, `stream` is the wire image the server's media hold
+  // (the caller decoded it for the engine): the link moves wire bytes and
+  // the filer translates watermarks back to raw, paying decode CPU.
+  const bool content = cfg.content_map != nullptr;
+  const uint64_t raw_bytes =
+      content ? cfg.content_map->raw_total() : stream.size();
   StreamSession session(env, target.link, report->name, stream,
                         target.supervision, report, server_node,
                         target.qos.throttle);
@@ -488,14 +529,25 @@ Task ReplayFromNet(ReplayConfig cfg, RemoteTarget target, const IoTrace* trace,
                                   cfg.chunk_bytes, &session, report,
                                   &reader_done, server_node));
   Channel<uint64_t> watermarks(env, cfg.pipeline_depth);
-  env->Spawn(WatermarkAdapter(&session.conns(), &watermarks));
+  Channel<uint64_t> wire_watermarks(env, cfg.pipeline_depth);
+  SimEvent adapter_done(env);
+  if (content) {
+    env->Spawn(WatermarkAdapter(&session.conns(), &wire_watermarks));
+    env->Spawn(ContentWatermarkAdapter(cfg, cfg.content_map, {},
+                                       &wire_watermarks, &watermarks, report,
+                                       &adapter_done));
+  } else {
+    env->Spawn(WatermarkAdapter(&session.conns(), &watermarks));
+  }
 
   PhaseSpanner spans(env, report->name);
-  co_await ReplayConsumer(cfg, trace, stream.size(), &watermarks, &spans,
-                          report);
+  co_await ReplayConsumer(cfg, trace, raw_bytes, &watermarks, &spans, report);
   co_await reader_done.Wait();
+  if (content) {
+    co_await adapter_done.Wait();
+  }
   spans.Close();
-  report->stream_bytes += stream.size();
+  report->stream_bytes += raw_bytes;
   done->CountDown();
 }
 
@@ -506,10 +558,21 @@ Task ReplayFromNetRanges(ReplayConfig cfg, RemoteTarget target,
                          std::vector<StreamRange> ranges, JobReport* report,
                          CountdownLatch* done) {
   SimEnvironment* env = cfg.filer->env();
+  // Resume/catalog offsets are raw; with content stages, the server's media
+  // hold wire frames — translate to the frame-aligned wire cover and ship
+  // only that (the O(file) guarantee in post-stage coordinates).
+  const bool content = cfg.content_map != nullptr;
+  std::vector<StreamRange> wire_ranges;
+  if (content) {
+    wire_ranges = cfg.content_map->WireRangesOf(ranges);
+    ranges = wire_ranges;
+  }
   uint64_t moved = 0;
   for (const StreamRange& r : ranges) {
     moved += r.size();
   }
+  const uint64_t raw_bytes =
+      content ? cfg.content_map->raw_total() : stream.size();
   const std::string server_node =
       target.server != nullptr ? target.server->name() : "tape-server";
   StreamSession session(env, target.link, report->name, stream,
@@ -522,12 +585,24 @@ Task ReplayFromNetRanges(ReplayConfig cfg, RemoteTarget target,
                                         cfg.chunk_bytes, &session, report,
                                         &reader_done));
   Channel<uint64_t> watermarks(env, cfg.pipeline_depth);
-  env->Spawn(WatermarkAdapter(&session.conns(), &watermarks));
+  Channel<uint64_t> wire_watermarks(env, cfg.pipeline_depth);
+  SimEvent adapter_done(env);
+  if (content) {
+    env->Spawn(WatermarkAdapter(&session.conns(), &wire_watermarks));
+    env->Spawn(ContentWatermarkAdapter(cfg, cfg.content_map,
+                                       std::move(wire_ranges),
+                                       &wire_watermarks, &watermarks, report,
+                                       &adapter_done));
+  } else {
+    env->Spawn(WatermarkAdapter(&session.conns(), &watermarks));
+  }
 
   PhaseSpanner spans(env, report->name);
-  co_await ReplayConsumer(cfg, trace, stream.size(), &watermarks, &spans,
-                          report);
+  co_await ReplayConsumer(cfg, trace, raw_bytes, &watermarks, &spans, report);
   co_await reader_done.Wait();
+  if (content) {
+    co_await adapter_done.Wait();
+  }
   spans.Close();
   report->stream_bytes += moved;
   done->CountDown();
@@ -671,9 +746,34 @@ Task RemoteLogicalRestoreJob(Filer* filer, Filesystem* fs, RemoteTarget target,
   }
   const std::vector<uint8_t> stream = SpliceMedia(target);
 
+  // With content stages, the media hold the wire image: decode it for the
+  // engine (verifying every store-backed frame); the replay below still
+  // moves wire bytes over the link.
+  FrameMap content_map;
+  std::vector<uint8_t> decoded;
+  std::span<const uint8_t> raw_stream = stream;
+  if (target.content.enabled()) {
+    Result<FrameMap> map = FrameMap::FromWire(stream);
+    if (!map.ok()) {
+      report.status = map.status();
+      done->CountDown();
+      co_return;
+    }
+    Result<std::vector<uint8_t>> raw =
+        StagePipeline(target.content).Decode(stream, &report.content);
+    if (!raw.ok()) {
+      report.status = raw.status();
+      done->CountDown();
+      co_return;
+    }
+    content_map = std::move(*map);
+    decoded = std::move(*raw);
+    raw_stream = decoded;
+  }
+
   fs->MarkCpCounters();
   Result<LogicalRestoreOutput> restored =
-      RunLogicalRestore(fs, stream, options);
+      RunLogicalRestore(fs, raw_stream, options);
   if (!restored.ok()) {
     report.status = restored.status();
     done->CountDown();
@@ -690,6 +790,10 @@ Task RemoteLogicalRestoreJob(Filer* filer, Filesystem* fs, RemoteTarget target,
       data_writes > 0
           ? static_cast<double>(meta_writes) / static_cast<double>(data_writes)
           : 0.5;
+  if (target.content.enabled()) {
+    cfg.content = target.content;
+    cfg.content_map = &content_map;
+  }
 
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayFromNet(cfg, target, &result->restore.trace, stream,
@@ -730,11 +834,52 @@ Task RemoteSingleFileRestoreJob(Filer* filer, Filesystem* fs,
   const std::span<const uint8_t> stream = target.drive->tape()->contents();
   result->full_stream_bytes = stream.size();
 
+  // With content stages, the tape holds the wire image: decode it for the
+  // name table and the engine; budget and link accounting below move to
+  // post-stage wire coordinates.
+  const bool content = target.content.enabled();
+  FrameMap content_map;
+  std::vector<uint8_t> decoded;
+  std::span<const uint8_t> raw_stream = stream;
+  if (content) {
+    Result<FrameMap> map = FrameMap::FromWire(stream);
+    if (!map.ok()) {
+      report.status = map.status();
+      done->CountDown();
+      co_return;
+    }
+    Result<std::vector<uint8_t>> raw =
+        StagePipeline(target.content).Decode(stream, &report.content);
+    if (!raw.ok()) {
+      report.status = raw.status();
+      done->CountDown();
+      co_return;
+    }
+    content_map = std::move(*map);
+    decoded = std::move(*raw);
+    raw_stream = decoded;
+  }
+  // Catalog ranges are raw; what the link will move is their frame-aligned
+  // wire cover.
+  auto LinkSizeOf = [&](const std::vector<StreamRange>& raw_ranges) {
+    uint64_t total = 0;
+    if (content) {
+      for (const StreamRange& r : content_map.WireRangesOf(raw_ranges)) {
+        total += r.size();
+      }
+    } else {
+      for (const StreamRange& r : raw_ranges) {
+        total += r.size();
+      }
+    }
+    return total;
+  };
+
   // Reserve the link allowance up front from the catalog's estimate — the
   // ranges the restore will pull, known before any byte moves.
   uint64_t estimate = 0;
   {
-    Result<RestoreCatalog> names = BuildRestoreCatalog(stream);
+    Result<RestoreCatalog> names = BuildRestoreCatalog(raw_stream);
     if (!names.ok()) {
       report.status = names.status();
       done->CountDown();
@@ -747,9 +892,7 @@ Task RemoteSingleFileRestoreJob(Filer* filer, Filesystem* fs,
       co_return;
     }
     const std::vector<Inum> wanted = names->Descendants(*selected);
-    for (const StreamRange& r : catalog->RestoreRanges(wanted)) {
-      estimate += r.size();
-    }
+    estimate = LinkSizeOf(catalog->RestoreRanges(wanted));
   }
   if (budget != nullptr && !budget->TryReserve(estimate)) {
     result->budget_rejected = true;
@@ -762,7 +905,7 @@ Task RemoteSingleFileRestoreJob(Filer* filer, Filesystem* fs,
   options.catalog = catalog;
   fs->MarkCpCounters();
   Result<LogicalRestoreOutput> restored =
-      RunLogicalRestore(fs, stream, options);
+      RunLogicalRestore(fs, raw_stream, options);
   if (!restored.ok()) {
     if (budget != nullptr) {
       budget->Cancel(estimate);
@@ -782,6 +925,10 @@ Task RemoteSingleFileRestoreJob(Filer* filer, Filesystem* fs,
       data_writes > 0
           ? static_cast<double>(meta_writes) / static_cast<double>(data_writes)
           : 0.5;
+  if (content) {
+    cfg.content = target.content;
+    cfg.content_map = &content_map;
+  }
 
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayFromNetRanges(cfg, target, &result->restore.trace, stream,
@@ -789,9 +936,7 @@ Task RemoteSingleFileRestoreJob(Filer* filer, Filesystem* fs,
                                  &replay_done));
   co_await replay_done.Wait();
 
-  for (const StreamRange& r : result->restore.consumed_ranges) {
-    result->link_bytes += r.size();
-  }
+  result->link_bytes = LinkSizeOf(result->restore.consumed_ranges);
   if (budget != nullptr) {
     budget->Commit(estimate, result->link_bytes);
   }
@@ -875,7 +1020,28 @@ Task RemoteImageRestoreJob(Filer* filer, Volume* volume, RemoteTarget target,
     co_return;
   }
   const std::vector<uint8_t> stream = SpliceMedia(target);
-  Result<ImageRestoreOutput> restored = RunImageRestore(volume, stream);
+  FrameMap content_map;
+  std::vector<uint8_t> decoded;
+  std::span<const uint8_t> raw_stream = stream;
+  if (target.content.enabled()) {
+    Result<FrameMap> map = FrameMap::FromWire(stream);
+    if (!map.ok()) {
+      report.status = map.status();
+      done->CountDown();
+      co_return;
+    }
+    Result<std::vector<uint8_t>> raw =
+        StagePipeline(target.content).Decode(stream, &report.content);
+    if (!raw.ok()) {
+      report.status = raw.status();
+      done->CountDown();
+      co_return;
+    }
+    content_map = std::move(*map);
+    decoded = std::move(*raw);
+    raw_stream = decoded;
+  }
+  Result<ImageRestoreOutput> restored = RunImageRestore(volume, raw_stream);
   if (!restored.ok()) {
     report.status = restored.status();
     done->CountDown();
@@ -886,6 +1052,10 @@ Task RemoteImageRestoreJob(Filer* filer, Volume* volume, RemoteTarget target,
   ReplayConfig cfg = RemoteReplayConfig(filer, volume, target);
   cfg.charge_nvram = false;  // image restore bypasses the NVRAM log
   cfg.count_net_bytes = true;
+  if (target.content.enabled()) {
+    cfg.content = target.content;
+    cfg.content_map = &content_map;
+  }
   CountdownLatch replay_done(env, 1);
   env->Spawn(ReplayFromNet(cfg, target, &result->restore.trace, stream,
                            &report, &replay_done));
@@ -904,7 +1074,8 @@ Task ParallelRemoteImageBackupJob(Filer* filer, Filesystem* fs, NetLink* link,
                                   bool delete_snapshot_after,
                                   const SupervisionPolicy* supervision,
                                   ParallelRemoteImageBackupResult* result,
-                                  CountdownLatch* done, BackupQos qos) {
+                                  CountdownLatch* done, BackupQos qos,
+                                  ContentConfig content) {
   assert(!drives.empty());
   SimEnvironment* env = filer->env();
   JobReport& control = result->control;
@@ -940,6 +1111,7 @@ Task ParallelRemoteImageBackupJob(Filer* filer, Filesystem* fs, NetLink* link,
     target.drive = drives[k];
     target.supervision = supervision;
     target.qos = qos;
+    target.content = content;
     result->parts.push_back(std::make_unique<ImageBackupJobResult>());
     env->Spawn(RemoteImagePart(filer, fs, target, options,
                                result->parts.back().get(), &parts_done));

@@ -44,6 +44,13 @@ struct RemoteTarget {
   // before transmitting — not the producer, so bytes are charged once);
   // io_priority demotes the filer-side disk/CPU charges as for local jobs.
   BackupQos qos;
+  // Content stages (DESIGN.md §16): backups encode on the filer before the
+  // link, so the session ships wire bytes (the throttle and the acked-floor
+  // reconnect machinery operate in post-stage coordinates, and a resend
+  // never re-charges encode CPU); restores decode on the filer after the
+  // link. Restores must pass the same config — in particular the same
+  // ChunkIndex — the backup ran with.
+  ContentConfig content;
 };
 
 // Snapshot create -> 4-phase dump, streamed over the link to the server's
@@ -111,7 +118,8 @@ Task ParallelRemoteImageBackupJob(Filer* filer, Filesystem* fs, NetLink* link,
                                   bool delete_snapshot_after,
                                   const SupervisionPolicy* supervision,
                                   ParallelRemoteImageBackupResult* result,
-                                  CountdownLatch* done, BackupQos qos = {});
+                                  CountdownLatch* done, BackupQos qos = {},
+                                  ContentConfig content = {});
 
 }  // namespace bkup
 

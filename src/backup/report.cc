@@ -209,6 +209,19 @@ void JobReport::WriteJson(JsonWriter* w) const {
       .Field("link_reconnects", faults.link_reconnects)
       .Field("link_bytes_resent", faults.link_bytes_resent)
       .EndObject();
+  if (content.any()) {
+    w->Key("content")
+        .BeginObject()
+        .Field("raw_bytes", content.raw_bytes)
+        .Field("wire_bytes", content.wire_bytes)
+        .Field("unique_bytes", content.unique_bytes)
+        .Field("chunks", content.chunks)
+        .Field("dedup_hits", content.dedup_hits)
+        .Field("crc_checks", content.crc_checks)
+        .Field("encode_cpu_us", content.encode_cpu_us)
+        .Field("decode_cpu_us", content.decode_cpu_us)
+        .EndObject();
+  }
   w->Key("resume")
       .BeginObject()
       .Field("resumes", resume.resumes)
@@ -264,6 +277,7 @@ JobReport MergeReports(const std::string& name,
     }
     merged.faults.Add(r.faults);
     merged.resume.Add(r.resume);
+    merged.content.Add(r.content);
     merged.tapes_used.insert(merged.tapes_used.end(), r.tapes_used.begin(),
                              r.tapes_used.end());
     merged.final_media.insert(merged.final_media.end(), r.final_media.begin(),

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/block/io_trace.h"
+#include "src/content/content.h"
 #include "src/sim/resource.h"
 #include "src/util/status.h"
 #include "src/util/units.h"
@@ -109,6 +110,10 @@ struct JobReport {
   std::vector<std::string> final_media;
   FaultCounters faults;
   ResumeStats resume;
+  // Content-stage accounting (all zero when no stage is enabled). For jobs
+  // with stages on, stream_bytes stays in raw coordinates while
+  // content.wire_bytes is what tapes/links actually moved.
+  ContentStats content;
   Status status;
   std::array<PhaseStats, static_cast<int>(JobPhase::kCount)> phases{};
 

@@ -1,0 +1,658 @@
+#include "src/content/content.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/obs/metrics.h"
+#include "src/util/checksum.h"
+#include "src/util/random.h"
+#include "src/util/serdes.h"
+
+namespace bkup {
+
+namespace {
+
+// ChunkIndex journal framing (the TapeCatalog idiom: entry frames sealed by
+// running-CRC checkpoints, so a torn tail drops cleanly).
+constexpr uint32_t kChunkIndexMagic = 0x424B4349;  // "BKCI"
+constexpr uint8_t kJournalEntry = 1;
+constexpr uint8_t kJournalCheckpoint = 2;
+
+// Wire frame types and flags.
+constexpr uint8_t kFrameLiteral = 1;
+constexpr uint8_t kFrameRef = 2;
+// Literal payload is the raw chunk verbatim (compression off, or a store
+// fallback); otherwise the payload is modeled-compressed filler and the raw
+// bytes live in the ChunkIndex.
+constexpr uint8_t kFlagVerbatim = 1;
+
+constexpr uint16_t kWireVersion = 1;
+constexpr uint16_t kStageChunk = 1 << 0;
+constexpr uint16_t kStageDedup = 1 << 1;
+constexpr uint16_t kStageCompress = 1 << 2;
+constexpr uint16_t kStageCrc = 1 << 3;
+
+constexpr size_t kRollWindow = 48;
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+struct RollTable {
+  uint64_t t[256];
+};
+
+RollTable MakeRollTable(uint64_t seed) {
+  RollTable table;
+  uint64_t state = seed ^ 0x636e6b74;  // "cnkt"
+  for (uint64_t& v : table.t) {
+    v = SplitMix64(state);
+  }
+  return table;
+}
+
+uint64_t RotL(uint64_t v, int s) { return (v << s) | (v >> (64 - s)); }
+
+uint16_t StageFlags(const ContentConfig& cfg) {
+  uint16_t flags = 0;
+  if (cfg.chunk) flags |= kStageChunk;
+  if (cfg.dedup) flags |= kStageDedup;
+  if (cfg.compress) flags |= kStageCompress;
+  if (cfg.crc) flags |= kStageCrc;
+  return flags;
+}
+
+uint32_t RatioMilli(double ratio) {
+  return static_cast<uint32_t>(ratio * 1000.0 + 0.5);
+}
+
+// Deterministic modeled-compressed payload for a stored chunk: content is
+// irrelevant to decode (the store holds the raw bytes) but must be stable
+// across runs and resumes so the tape image is byte-identical.
+void FillCompressed(std::vector<uint8_t>* out, uint64_t hash, uint64_t seed,
+                    size_t n) {
+  uint64_t state = hash ^ Mix64(seed);
+  size_t done = out->size();
+  out->resize(done + n);
+  while (done < out->size()) {
+    uint64_t v = SplitMix64(state);
+    for (int i = 0; i < 8 && done < out->size(); ++i, v >>= 8) {
+      (*out)[done++] = static_cast<uint8_t>(v);
+    }
+  }
+}
+
+struct WireHeader {
+  uint16_t flags = 0;
+  uint32_t ratio_milli = 1000;
+  uint64_t raw_total = 0;
+};
+
+void PutStreamHeader(std::vector<uint8_t>* wire, const ContentConfig& cfg,
+                     uint64_t raw_total) {
+  ByteWriter w(wire);
+  w.PutU32(kContentMagic);
+  w.PutU16(kWireVersion);
+  w.PutU16(StageFlags(cfg));
+  w.PutU32(RatioMilli(cfg.compress_ratio));
+  w.PutU32(cfg.min_chunk_bytes);
+  w.PutU32(cfg.avg_chunk_bytes);
+  w.PutU32(cfg.max_chunk_bytes);
+  w.PutU64(raw_total);
+  w.PutU32(Crc32c(std::span<const uint8_t>(*wire).first(32)));
+  w.PadTo(kContentStreamHeaderBytes);
+}
+
+Result<WireHeader> ParseStreamHeader(std::span<const uint8_t> wire) {
+  if (wire.size() < kContentStreamHeaderBytes) {
+    return Corruption("content stream shorter than its header");
+  }
+  ByteReader r(wire);
+  WireHeader h;
+  BKUP_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kContentMagic) {
+    return Corruption("bad content stream magic");
+  }
+  BKUP_ASSIGN_OR_RETURN(uint16_t version, r.ReadU16());
+  if (version != kWireVersion) {
+    return Corruption("unknown content stream version");
+  }
+  BKUP_ASSIGN_OR_RETURN(h.flags, r.ReadU16());
+  BKUP_ASSIGN_OR_RETURN(h.ratio_milli, r.ReadU32());
+  BKUP_ASSIGN_OR_RETURN(uint32_t min_chunk, r.ReadU32());
+  BKUP_ASSIGN_OR_RETURN(uint32_t avg_chunk, r.ReadU32());
+  BKUP_ASSIGN_OR_RETURN(uint32_t max_chunk, r.ReadU32());
+  (void)min_chunk;
+  (void)avg_chunk;
+  (void)max_chunk;
+  BKUP_ASSIGN_OR_RETURN(h.raw_total, r.ReadU64());
+  BKUP_ASSIGN_OR_RETURN(uint32_t crc, r.ReadU32());
+  if (crc != Crc32c(wire.first(32))) {
+    return Corruption("content stream header checksum mismatch");
+  }
+  return h;
+}
+
+struct FrameHeader {
+  uint8_t type = 0;
+  uint8_t flags = 0;
+  uint32_t raw_len = 0;
+  uint32_t payload_len = 0;
+  uint64_t hash = 0;
+  uint32_t crc = 0;
+};
+
+void PutFrameHeader(std::vector<uint8_t>* wire, const FrameHeader& f) {
+  ByteWriter w(wire);
+  w.PutU8(f.type);
+  w.PutU8(f.flags);
+  w.PutU16(0);
+  w.PutU32(f.raw_len);
+  w.PutU32(f.payload_len);
+  w.PutU64(f.hash);
+  w.PutU32(f.crc);
+}
+
+Result<FrameHeader> ReadFrameHeader(ByteReader* r) {
+  FrameHeader f;
+  BKUP_ASSIGN_OR_RETURN(f.type, r->ReadU8());
+  BKUP_ASSIGN_OR_RETURN(f.flags, r->ReadU8());
+  BKUP_ASSIGN_OR_RETURN(uint16_t reserved, r->ReadU16());
+  if (reserved != 0) {
+    return Corruption("content frame has nonzero reserved field");
+  }
+  BKUP_ASSIGN_OR_RETURN(f.raw_len, r->ReadU32());
+  BKUP_ASSIGN_OR_RETURN(f.payload_len, r->ReadU32());
+  BKUP_ASSIGN_OR_RETURN(f.hash, r->ReadU64());
+  BKUP_ASSIGN_OR_RETURN(f.crc, r->ReadU32());
+  if (f.type != kFrameLiteral && f.type != kFrameRef) {
+    return Corruption("unknown content frame type");
+  }
+  return f;
+}
+
+}  // namespace
+
+uint64_t ContentHash(std::span<const uint8_t> bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return Mix64(h);
+}
+
+// ------------------------------------------------------------ ChunkIndex ---
+
+bool ChunkIndex::Insert(uint64_t hash, std::span<const uint8_t> bytes) {
+  auto [it, inserted] = map_.try_emplace(hash);
+  if (!inserted) {
+    return false;
+  }
+  it->second.bytes.assign(bytes.begin(), bytes.end());
+  it->second.crc = Crc32c(bytes);
+  stored_bytes_ += bytes.size();
+  return true;
+}
+
+const ChunkIndex::Entry* ChunkIndex::Find(uint64_t hash) const {
+  auto it = map_.find(hash);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+bool ChunkIndex::CorruptEntryForTest(uint64_t hash) {
+  auto it = map_.find(hash);
+  if (it == map_.end() || it->second.bytes.empty()) {
+    return false;
+  }
+  it->second.bytes[it->second.bytes.size() / 2] ^= 0x5a;
+  return true;
+}
+
+std::vector<uint8_t> ChunkIndex::Serialize(uint32_t checkpoint_every) const {
+  if (checkpoint_every == 0) {
+    checkpoint_every = 1;
+  }
+  // Hash order: deterministic regardless of insertion history.
+  std::vector<const std::pair<const uint64_t, Entry>*> sorted;
+  sorted.reserve(map_.size());
+  for (const auto& kv : map_) {
+    sorted.push_back(&kv);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  std::vector<uint8_t> image;
+  ByteWriter w(&image);
+  w.PutU32(kChunkIndexMagic);
+  uint32_t unsealed = 0;
+  auto Seal = [&image, &w]() {
+    const uint32_t crc = Crc32c(image);
+    w.PutU8(kJournalCheckpoint);
+    w.PutU32(crc);
+  };
+  for (const auto* kv : sorted) {
+    w.PutU8(kJournalEntry);
+    w.PutU64(kv->first);
+    w.PutU32(kv->second.crc);
+    w.PutU32(static_cast<uint32_t>(kv->second.bytes.size()));
+    w.PutBytes(kv->second.bytes);
+    if (++unsealed >= checkpoint_every) {
+      Seal();
+      unsealed = 0;
+    }
+  }
+  Seal();  // always end sealed (also seals the empty index)
+  return image;
+}
+
+Result<ChunkIndex> ChunkIndex::Load(std::span<const uint8_t> image) {
+  ByteReader r(image);
+  Result<uint32_t> magic = r.ReadU32();
+  if (!magic.ok() || *magic != kChunkIndexMagic) {
+    return Corruption("bad chunk index magic");
+  }
+  ChunkIndex index;
+  // Entries read since the last intact checkpoint; committed only when the
+  // next checkpoint's running CRC matches.
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> tentative;
+  bool sealed_once = false;
+  while (!r.exhausted()) {
+    Result<uint8_t> type = r.ReadU8();
+    if (!type.ok()) {
+      break;  // torn tail
+    }
+    if (*type == kJournalCheckpoint) {
+      const size_t frame_start = r.position() - 1;
+      Result<uint32_t> crc = r.ReadU32();
+      if (!crc.ok()) {
+        break;  // torn tail
+      }
+      if (*crc != Crc32c(image.first(frame_start))) {
+        // A flip in the sealed prefix fails this and every later
+        // checkpoint; nothing after the last good seal can be trusted.
+        break;
+      }
+      for (auto& [hash, bytes] : tentative) {
+        index.Insert(hash, bytes);
+      }
+      tentative.clear();
+      sealed_once = true;
+      continue;
+    }
+    if (*type != kJournalEntry) {
+      break;  // garbage; keep what the last checkpoint sealed
+    }
+    Result<uint64_t> hash = r.ReadU64();
+    Result<uint32_t> crc = r.ReadU32();
+    Result<uint32_t> len = r.ReadU32();
+    if (!hash.ok() || !crc.ok() || !len.ok()) {
+      break;
+    }
+    Result<std::vector<uint8_t>> bytes = r.ReadBytes(*len);
+    if (!bytes.ok()) {
+      break;
+    }
+    if (Crc32c(*bytes) != *crc) {
+      break;  // entry body damaged; the next checkpoint would fail anyway
+    }
+    tentative.emplace_back(*hash, std::move(*bytes));
+  }
+  if (!sealed_once) {
+    return Corruption("chunk index has no intact checkpointed prefix");
+  }
+  return index;
+}
+
+// ---------------------------------------------------------- ContentConfig ---
+
+SimDuration ContentConfig::EncodeCpuPerMb() const {
+  SimDuration us = 0;
+  if (chunk) us += chunk_cpu_us_per_mb;
+  if (dedup) us += dedup_cpu_us_per_mb;
+  if (compress) us += compress_cpu_us_per_mb;
+  if (crc) us += crc_cpu_us_per_mb;
+  return us;
+}
+
+SimDuration ContentConfig::DecodeCpuPerMb() const {
+  SimDuration us = 0;
+  if (crc) us += crc_cpu_us_per_mb;
+  if (compress || dedup) us += decode_cpu_us_per_mb;
+  return us;
+}
+
+Status ContentConfig::Validate() const {
+  if (!enabled()) {
+    return Status::Ok();
+  }
+  if (avg_chunk_bytes == 0 ||
+      (avg_chunk_bytes & (avg_chunk_bytes - 1)) != 0) {
+    return InvalidArgument("avg_chunk_bytes must be a power of two");
+  }
+  if (min_chunk_bytes < kRollWindow + 1) {
+    return InvalidArgument("min_chunk_bytes below the rolling-hash window");
+  }
+  if (min_chunk_bytes > avg_chunk_bytes || avg_chunk_bytes > max_chunk_bytes) {
+    return InvalidArgument("chunk bounds must satisfy min <= avg <= max");
+  }
+  if (compress && compress_ratio <= 1.0) {
+    return InvalidArgument("compress_ratio must exceed 1.0");
+  }
+  if ((compress || dedup) && index == nullptr) {
+    return InvalidArgument(
+        "compression and dedup need a ChunkIndex (their decode reconstructs "
+        "from the store)");
+  }
+  return Status::Ok();
+}
+
+void ContentStats::Add(const ContentStats& o) {
+  raw_bytes += o.raw_bytes;
+  wire_bytes += o.wire_bytes;
+  unique_bytes += o.unique_bytes;
+  chunks += o.chunks;
+  dedup_hits += o.dedup_hits;
+  crc_checks += o.crc_checks;
+  encode_cpu_us += o.encode_cpu_us;
+  decode_cpu_us += o.decode_cpu_us;
+}
+
+// --------------------------------------------------------------- FrameMap ---
+
+uint64_t FrameMap::WireOf(uint64_t raw) const {
+  if (raw >= raw_total_) {
+    return wire_total_;
+  }
+  if (raw == 0) {
+    return 0;  // the stream header rides with the first chunk
+  }
+  // Last frame with raw_begin <= raw.
+  auto it = std::upper_bound(
+      frames_.begin(), frames_.end(), raw,
+      [](uint64_t r, const Frame& f) { return r < f.raw_begin; });
+  const Frame& f = *(it - 1);
+  const uint64_t off = raw - f.raw_begin;
+  return f.wire_begin + off * f.wire_len / f.raw_len;
+}
+
+uint64_t FrameMap::RawAvailable(uint64_t wire) const {
+  if (wire >= wire_total_) {
+    return raw_total_;
+  }
+  if (frames_.empty() || wire <= frames_.front().wire_begin) {
+    return 0;
+  }
+  auto it = std::upper_bound(
+      frames_.begin(), frames_.end(), wire,
+      [](uint64_t w, const Frame& f) { return w < f.wire_begin; });
+  const Frame& f = *(it - 1);
+  const uint64_t off = wire - f.wire_begin;
+  const uint64_t partial = off * f.raw_len / f.wire_len;
+  return f.raw_begin + std::min<uint64_t>(partial, f.raw_len);
+}
+
+std::vector<StreamRange> FrameMap::WireRangesOf(
+    std::span<const StreamRange> raw, bool include_header) const {
+  std::vector<StreamRange> out;
+  for (const StreamRange& r : raw) {
+    if (r.begin >= r.end || frames_.empty()) {
+      continue;
+    }
+    // First frame overlapping r (raw_begin + raw_len > r.begin).
+    auto first = std::upper_bound(
+        frames_.begin(), frames_.end(), r.begin,
+        [](uint64_t v, const Frame& f) { return v < f.raw_begin + f.raw_len; });
+    // One past the last frame overlapping r (raw_begin < r.end).
+    auto last = std::lower_bound(
+        frames_.begin(), frames_.end(), r.end,
+        [](const Frame& f, uint64_t v) { return f.raw_begin < v; });
+    if (first >= last) {
+      continue;
+    }
+    StreamRange w{first->wire_begin,
+                  (last - 1)->wire_begin + (last - 1)->wire_len};
+    if (include_header && first == frames_.begin()) {
+      w.begin = 0;
+    }
+    if (!out.empty() && w.begin <= out.back().end) {
+      out.back().end = std::max(out.back().end, w.end);
+    } else {
+      out.push_back(w);
+    }
+  }
+  return out;
+}
+
+uint64_t FrameMap::RawSizeOfWireRange(const StreamRange& wire) const {
+  return RawAvailable(wire.end) - RawAvailable(wire.begin);
+}
+
+Result<FrameMap> FrameMap::FromWire(std::span<const uint8_t> wire) {
+  BKUP_ASSIGN_OR_RETURN(WireHeader header, ParseStreamHeader(wire));
+  FrameMap map;
+  map.wire_total_ = wire.size();
+  uint64_t raw = 0;
+  ByteReader r(wire.subspan(kContentStreamHeaderBytes));
+  while (!r.exhausted()) {
+    const uint64_t wire_begin = kContentStreamHeaderBytes + r.position();
+    BKUP_ASSIGN_OR_RETURN(FrameHeader f, ReadFrameHeader(&r));
+    BKUP_RETURN_IF_ERROR(r.Skip(f.payload_len));
+    Frame frame;
+    frame.raw_begin = raw;
+    frame.wire_begin = wire_begin;
+    frame.raw_len = f.raw_len;
+    frame.wire_len =
+        static_cast<uint32_t>(kContentFrameHeaderBytes) + f.payload_len;
+    map.frames_.push_back(frame);
+    raw += f.raw_len;
+  }
+  map.raw_total_ = raw;
+  if (raw != header.raw_total) {
+    return Corruption("content frame chain does not cover the raw stream");
+  }
+  return map;
+}
+
+// ---------------------------------------------------------- StagePipeline ---
+
+std::vector<uint64_t> StagePipeline::ChunkBoundaries(
+    std::span<const uint8_t> raw) const {
+  std::vector<uint64_t> ends;
+  if (raw.empty()) {
+    return ends;
+  }
+  const uint64_t min_len = cfg_.min_chunk_bytes;
+  const uint64_t max_len = cfg_.max_chunk_bytes;
+  if (!cfg_.chunk) {
+    // Fixed-size chunking fallback: avg-sized pieces.
+    for (uint64_t pos = 0; pos < raw.size();) {
+      pos = std::min<uint64_t>(pos + cfg_.avg_chunk_bytes, raw.size());
+      ends.push_back(pos);
+    }
+    return ends;
+  }
+  const RollTable table = MakeRollTable(cfg_.seed);
+  const uint64_t mask = cfg_.avg_chunk_bytes - 1;
+  uint64_t start = 0;
+  uint64_t h = 0;
+  uint64_t pos = 0;
+  while (pos < raw.size()) {
+    const uint8_t in = raw[pos];
+    h = RotL(h, 1) ^ table.t[in];
+    if (pos - start >= kRollWindow) {
+      // The byte entering kRollWindow iterations ago has been rotated once
+      // per iteration since; cancel exactly that contribution so the hash
+      // depends only on the trailing window (what makes an edit local).
+      h ^= RotL(table.t[raw[pos - kRollWindow]],
+                static_cast<int>(kRollWindow & 63));
+    }
+    ++pos;
+    const uint64_t len = pos - start;
+    if ((len >= min_len && (h & mask) == mask) || len >= max_len) {
+      ends.push_back(pos);
+      start = pos;
+      h = 0;
+    }
+  }
+  if (ends.empty() || ends.back() != raw.size()) {
+    ends.push_back(raw.size());
+  }
+  return ends;
+}
+
+Result<EncodeResult> StagePipeline::Encode(
+    std::span<const uint8_t> raw) const {
+  BKUP_RETURN_IF_ERROR(cfg_.Validate());
+  EncodeResult out;
+  out.stats.raw_bytes = raw.size();
+  out.map.raw_total_ = raw.size();
+  PutStreamHeader(&out.wire, cfg_, raw.size());
+
+  const bool store_backed = cfg_.compress || cfg_.dedup;
+  const uint32_t ratio_milli = RatioMilli(cfg_.compress_ratio);
+  uint64_t begin = 0;
+  for (uint64_t end : ChunkBoundaries(raw)) {
+    const std::span<const uint8_t> chunk = raw.subspan(begin, end - begin);
+    FrameHeader f;
+    f.raw_len = static_cast<uint32_t>(chunk.size());
+    f.hash = ContentHash(chunk);
+    f.crc = Crc32c(chunk);
+
+    const ChunkIndex::Entry* hit =
+        cfg_.dedup ? cfg_.index->Find(f.hash) : nullptr;
+    // Never dedup on hash alone: the bytes must really match. A collision
+    // (or a same-hash chunk stored with different bytes) costs a missed
+    // dedup, never a wrong one.
+    const bool dedup_hit =
+        hit != nullptr && hit->bytes.size() == chunk.size() &&
+        std::memcmp(hit->bytes.data(), chunk.data(), chunk.size()) == 0;
+
+    const uint64_t wire_begin = out.wire.size();
+    if (dedup_hit) {
+      f.type = kFrameRef;
+      f.payload_len = 0;
+      PutFrameHeader(&out.wire, f);
+      ++out.stats.dedup_hits;
+    } else {
+      f.type = kFrameLiteral;
+      bool stored = false;
+      if (store_backed) {
+        if (cfg_.index->Insert(f.hash, chunk)) {
+          out.stats.unique_bytes += chunk.size();
+          stored = true;
+        } else {
+          // Same hash, different bytes (dedup off or the memcmp above
+          // failed): the store slot is taken, so this chunk cannot be
+          // reconstructed from it — fall back to a verbatim literal.
+          const ChunkIndex::Entry* prev = cfg_.index->Find(f.hash);
+          stored = prev != nullptr && prev->bytes.size() == chunk.size() &&
+                   std::memcmp(prev->bytes.data(), chunk.data(),
+                               chunk.size()) == 0;
+        }
+      }
+      if (cfg_.compress && stored) {
+        f.payload_len = static_cast<uint32_t>(std::max<uint64_t>(
+            1, (chunk.size() * 1000 + ratio_milli - 1) / ratio_milli));
+        PutFrameHeader(&out.wire, f);
+        FillCompressed(&out.wire, f.hash, cfg_.seed, f.payload_len);
+      } else {
+        f.flags = kFlagVerbatim;
+        f.payload_len = f.raw_len;
+        PutFrameHeader(&out.wire, f);
+        ByteWriter(&out.wire).PutBytes(chunk);
+      }
+    }
+    FrameMap::Frame frame;
+    frame.raw_begin = begin;
+    frame.wire_begin = wire_begin;
+    frame.raw_len = f.raw_len;
+    frame.wire_len = static_cast<uint32_t>(out.wire.size() - wire_begin);
+    out.map.frames_.push_back(frame);
+    ++out.stats.chunks;
+    begin = end;
+  }
+  out.map.wire_total_ = out.wire.size();
+  out.stats.wire_bytes = out.wire.size();
+
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics.GetCounter("content.chunks")->Increment(out.stats.chunks);
+  metrics.GetCounter("content.dedup_hits")->Increment(out.stats.dedup_hits);
+  metrics.GetCounter("content.raw_bytes")->Increment(out.stats.raw_bytes);
+  metrics.GetCounter("content.wire_bytes")->Increment(out.stats.wire_bytes);
+  metrics.GetCounter("content.unique_bytes")
+      ->Increment(out.stats.unique_bytes);
+  return out;
+}
+
+Result<std::vector<uint8_t>> StagePipeline::Decode(
+    std::span<const uint8_t> wire, ContentStats* stats) const {
+  BKUP_ASSIGN_OR_RETURN(WireHeader header, ParseStreamHeader(wire));
+  const bool verify_verbatim = (header.flags & kStageCrc) != 0;
+  ContentStats local;
+  local.wire_bytes = wire.size();
+
+  std::vector<uint8_t> raw;
+  raw.reserve(header.raw_total);
+  ByteReader r(wire.subspan(kContentStreamHeaderBytes));
+  while (!r.exhausted()) {
+    BKUP_ASSIGN_OR_RETURN(FrameHeader f, ReadFrameHeader(&r));
+    BKUP_ASSIGN_OR_RETURN(std::span<const uint8_t> payload,
+                          r.ReadSpan(f.payload_len));
+    ++local.chunks;
+    if (f.type == kFrameLiteral && (f.flags & kFlagVerbatim) != 0) {
+      if (payload.size() != f.raw_len) {
+        return Corruption("verbatim literal frame length mismatch");
+      }
+      if (verify_verbatim) {
+        ++local.crc_checks;
+        if (Crc32c(payload) != f.crc) {
+          return Corruption("literal frame failed its CRC");
+        }
+      }
+      raw.insert(raw.end(), payload.begin(), payload.end());
+      continue;
+    }
+    // Ref frame or store-backed literal: reconstruct from the ChunkIndex,
+    // verifying length and content hash/CRC — the dedup safety contract.
+    if (cfg_.index == nullptr) {
+      return FailedPrecondition(
+          "decoding a store-backed content stream needs the backup's "
+          "ChunkIndex");
+    }
+    if (f.type == kFrameRef) {
+      ++local.dedup_hits;
+    }
+    const ChunkIndex::Entry* entry = cfg_.index->Find(f.hash);
+    if (entry == nullptr) {
+      return Corruption("chunk index is missing a referenced chunk");
+    }
+    ++local.crc_checks;
+    if (entry->bytes.size() != f.raw_len || Crc32c(entry->bytes) != f.crc ||
+        ContentHash(entry->bytes) != f.hash) {
+      MetricsRegistry::Default()
+          .GetCounter("content.corruptions_detected")
+          ->Increment();
+      return Corruption("chunk index entry failed verification");
+    }
+    raw.insert(raw.end(), entry->bytes.begin(), entry->bytes.end());
+  }
+  if (raw.size() != header.raw_total) {
+    return Corruption("content stream truncated");
+  }
+  local.raw_bytes = raw.size();
+  MetricsRegistry::Default()
+      .GetCounter("content.crc_checks")
+      ->Increment(local.crc_checks);
+  if (stats != nullptr) {
+    stats->Add(local);
+  }
+  return raw;
+}
+
+}  // namespace bkup

@@ -1,0 +1,562 @@
+// Property battery for the content pipeline (DESIGN.md §16): round-trip
+// identity across every stage combination, chunking locality, adversarial
+// inputs, dedup safety under hash collision, and the ChunkIndex journal's
+// torn-tail contract. Everything here is functional — no simulation clock —
+// which is what lets the identity property run 64 seeds in one test.
+#include "src/content/content.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "src/util/checksum.h"
+#include "src/util/random.h"
+
+namespace bkup {
+namespace {
+
+// `BKUP_CONTENT_SEED_OFFSET` shifts the whole 64-seed block so
+// tools/seed_sweep.py can cover fresh streams/geometries without recompiling.
+uint64_t SeedOffset() {
+  const char* env = std::getenv("BKUP_CONTENT_SEED_OFFSET");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) * 64 : 0;
+}
+
+// Seeded pseudo-random stream with deliberate self-similarity: every fourth
+// 4 KiB block repeats an earlier block, so dedup and compression both have
+// something to find while the rest stays incompressible-random.
+std::vector<uint8_t> MakeStream(uint64_t seed, size_t n) {
+  std::vector<uint8_t> out(n);
+  uint64_t state = seed * 0x9e3779b97f4a7c15ull + 1;
+  const size_t block = 4096;
+  for (size_t b = 0; b * block < n; ++b) {
+    const size_t begin = b * block;
+    const size_t len = std::min(block, n - begin);
+    if (b >= 4 && b % 4 == 0) {
+      const size_t src = (b / 4 - 1) * block;
+      std::memcpy(&out[begin], &out[src], len);
+      continue;
+    }
+    for (size_t i = begin; i < begin + len; ++i) {
+      out[i] = static_cast<uint8_t>(SplitMix64(state));
+    }
+  }
+  return out;
+}
+
+ContentConfig ComboConfig(int combo, ChunkIndex* index) {
+  ContentConfig cfg;
+  cfg.chunk = (combo & 1) != 0;
+  cfg.dedup = (combo & 2) != 0;
+  cfg.compress = (combo & 4) != 0;
+  cfg.crc = (combo & 8) != 0;
+  cfg.index = (cfg.dedup || cfg.compress) ? index : nullptr;
+  return cfg;
+}
+
+// ------------------------------------------------------- round-trip identity
+
+// The tentpole property: Encode then Decode is the identity for every stage
+// combination and several chunk geometries, over 64 seeds. Each seed also
+// cross-checks FrameMap::FromWire against the map Encode built — the restore
+// side must recover the exact coordinate system by scanning the wire image.
+TEST(ContentRoundTripTest, SixtyFourSeedsAllStageCombos) {
+  struct Bounds {
+    uint32_t min, avg, max;
+  };
+  const Bounds kBounds[] = {
+      {64, 256, 1024},
+      {512, 2048, 8192},
+      {2048, 8192, 65536},
+      {49, 64, 64},  // min at the rolling-window floor, max forces every cut
+  };
+  const uint64_t offset = SeedOffset();
+  for (uint64_t s = 0; s < 64; ++s) {
+    const uint64_t seed = offset + s;
+    ChunkIndex index;
+    ContentConfig cfg = ComboConfig(static_cast<int>(seed % 16), &index);
+    const Bounds& b = kBounds[(seed / 16) % 4];
+    cfg.min_chunk_bytes = b.min;
+    cfg.avg_chunk_bytes = b.avg;
+    cfg.max_chunk_bytes = b.max;
+    cfg.seed = 0x626b6370 + seed;
+    cfg.compress_ratio = 1.5 + static_cast<double>(seed % 5);
+
+    const size_t n = 16 * 1024 + static_cast<size_t>(seed) * 4093;
+    const std::vector<uint8_t> raw = MakeStream(seed, n);
+    StagePipeline pipe(cfg);
+
+    auto encoded = pipe.Encode(raw);
+    ASSERT_TRUE(encoded.ok()) << "seed " << seed << ": "
+                              << encoded.status().ToString();
+    EXPECT_EQ(encoded->stats.raw_bytes, raw.size());
+    EXPECT_EQ(encoded->stats.wire_bytes, encoded->wire.size());
+    EXPECT_EQ(encoded->map.raw_total(), raw.size());
+    EXPECT_EQ(encoded->map.wire_total(), encoded->wire.size());
+
+    ContentStats decode_stats;
+    auto decoded = pipe.Decode(encoded->wire, &decode_stats);
+    ASSERT_TRUE(decoded.ok()) << "seed " << seed << ": "
+                              << decoded.status().ToString();
+    ASSERT_EQ(decoded->size(), raw.size()) << "seed " << seed;
+    EXPECT_TRUE(std::equal(decoded->begin(), decoded->end(), raw.begin()))
+        << "seed " << seed << " failed byte identity";
+    EXPECT_EQ(decode_stats.chunks, encoded->stats.chunks);
+    EXPECT_EQ(decode_stats.dedup_hits, encoded->stats.dedup_hits);
+
+    // The restore side rebuilds the same coordinate map by scanning.
+    auto scanned = FrameMap::FromWire(encoded->wire);
+    ASSERT_TRUE(scanned.ok()) << scanned.status().ToString();
+    ASSERT_EQ(scanned->frames().size(), encoded->map.frames().size());
+    for (size_t i = 0; i < scanned->frames().size(); ++i) {
+      EXPECT_EQ(scanned->frames()[i].raw_begin,
+                encoded->map.frames()[i].raw_begin);
+      EXPECT_EQ(scanned->frames()[i].wire_begin,
+                encoded->map.frames()[i].wire_begin);
+      EXPECT_EQ(scanned->frames()[i].raw_len,
+                encoded->map.frames()[i].raw_len);
+      EXPECT_EQ(scanned->frames()[i].wire_len,
+                encoded->map.frames()[i].wire_len);
+    }
+  }
+}
+
+// A second encode of the same stream against the same index refs everything:
+// the repeat-full-backup property the dedup bench gates at system level.
+TEST(ContentRoundTripTest, SecondPassDedupsEverything) {
+  ChunkIndex index;
+  ContentConfig cfg;
+  cfg.chunk = cfg.dedup = cfg.crc = true;
+  cfg.index = &index;
+  const std::vector<uint8_t> raw = MakeStream(7, 256 * 1024);
+  StagePipeline pipe(cfg);
+
+  auto first = pipe.Encode(raw);
+  ASSERT_TRUE(first.ok());
+  auto second = pipe.Encode(raw);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.dedup_hits, second->stats.chunks);
+  EXPECT_EQ(second->stats.unique_bytes, 0u);
+  EXPECT_LT(second->wire.size(), first->wire.size());
+  // Ref frames are header-only, so the repeat pass is pure framing.
+  EXPECT_EQ(second->wire.size(),
+            kContentStreamHeaderBytes +
+                second->stats.chunks * kContentFrameHeaderBytes);
+
+  auto decoded = pipe.Decode(second->wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(std::equal(decoded->begin(), decoded->end(), raw.begin()));
+}
+
+// Modeled compression really shrinks the wire image by ~the ratio.
+TEST(ContentRoundTripTest, CompressionShrinksWire) {
+  ChunkIndex index;
+  ContentConfig cfg;
+  cfg.chunk = cfg.compress = true;
+  cfg.compress_ratio = 2.0;
+  cfg.index = &index;
+  const std::vector<uint8_t> raw = MakeStream(11, 512 * 1024);
+  auto encoded = StagePipeline(cfg).Encode(raw);
+  ASSERT_TRUE(encoded.ok());
+  const double observed =
+      static_cast<double>(raw.size()) / static_cast<double>(encoded->wire.size());
+  EXPECT_GT(observed, 1.7) << "wire " << encoded->wire.size();
+  EXPECT_LT(observed, 2.1) << "wire " << encoded->wire.size();
+}
+
+// ------------------------------------------------------- chunking locality
+
+// A 1-byte edit must re-chunk O(1) chunks: boundaries outside the edited
+// chunk's rolling-hash reach are byte-for-byte identical, so an incremental
+// against the same index re-ships only a handful of chunks.
+TEST(ContentChunkingTest, OneByteEditRechunksO1Chunks) {
+  ContentConfig cfg;
+  cfg.chunk = true;
+  StagePipeline pipe(cfg);
+  std::vector<uint8_t> raw = MakeStream(3, 256 * 1024);
+
+  const std::vector<uint64_t> before = pipe.ChunkBoundaries(raw);
+  ASSERT_GT(before.size(), 8u);
+  raw[raw.size() / 2] ^= 0xff;
+  const std::vector<uint64_t> after = pipe.ChunkBoundaries(raw);
+
+  // Compare as boundary sets: the edit may split/merge chunks near the
+  // flipped byte, but everything else must be untouched.
+  std::set<uint64_t> a(before.begin(), before.end());
+  std::set<uint64_t> b(after.begin(), after.end());
+  std::vector<uint64_t> gone, born;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(gone));
+  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                      std::back_inserter(born));
+  EXPECT_LE(gone.size() + born.size(), 4u)
+      << gone.size() << " boundaries lost, " << born.size() << " gained";
+  // Every changed boundary sits within max_chunk_bytes of the edit.
+  const uint64_t edit = raw.size() / 2;
+  for (uint64_t v : gone) {
+    EXPECT_LT(v > edit ? v - edit : edit - v, 2ull * cfg.max_chunk_bytes);
+  }
+  for (uint64_t v : born) {
+    EXPECT_LT(v > edit ? v - edit : edit - v, 2ull * cfg.max_chunk_bytes);
+  }
+}
+
+// ...and the dedup consequence: re-encoding the edited stream against the
+// original index re-ships only the chunks the edit touched.
+TEST(ContentChunkingTest, OneByteEditReshipsO1UniqueBytes) {
+  ChunkIndex index;
+  ContentConfig cfg;
+  cfg.chunk = cfg.dedup = true;
+  cfg.index = &index;
+  StagePipeline pipe(cfg);
+  std::vector<uint8_t> raw = MakeStream(5, 256 * 1024);
+
+  auto first = pipe.Encode(raw);
+  ASSERT_TRUE(first.ok());
+  raw[raw.size() / 2] ^= 0xff;
+  auto second = pipe.Encode(raw);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(second->stats.dedup_hits + 4, second->stats.chunks)
+      << "edit re-shipped " << second->stats.chunks - second->stats.dedup_hits
+      << " chunks";
+  EXPECT_LE(second->stats.unique_bytes, 4ull * cfg.max_chunk_bytes);
+}
+
+// Chunk boundaries respect the configured bounds.
+TEST(ContentChunkingTest, BoundariesRespectMinAvgMax) {
+  ContentConfig cfg;
+  cfg.chunk = true;
+  cfg.min_chunk_bytes = 512;
+  cfg.avg_chunk_bytes = 2048;
+  cfg.max_chunk_bytes = 8192;
+  StagePipeline pipe(cfg);
+  const std::vector<uint8_t> raw = MakeStream(9, 300 * 1024);
+  const std::vector<uint64_t> ends = pipe.ChunkBoundaries(raw);
+  ASSERT_FALSE(ends.empty());
+  EXPECT_EQ(ends.back(), raw.size());
+  uint64_t prev = 0;
+  for (size_t i = 0; i < ends.size(); ++i) {
+    const uint64_t len = ends[i] - prev;
+    EXPECT_LE(len, cfg.max_chunk_bytes);
+    if (i + 1 < ends.size()) {  // the tail chunk may be short
+      EXPECT_GE(len, cfg.min_chunk_bytes);
+    }
+    prev = ends[i];
+  }
+}
+
+// ------------------------------------------------------- adversarial inputs
+
+TEST(ContentAdversarialTest, ZeroLengthStreamRoundTrips) {
+  for (int combo = 0; combo < 16; ++combo) {
+    ChunkIndex index;
+    StagePipeline pipe(ComboConfig(combo, &index));
+    auto encoded = pipe.Encode({});
+    ASSERT_TRUE(encoded.ok()) << "combo " << combo;
+    EXPECT_EQ(encoded->wire.size(), kContentStreamHeaderBytes);
+    EXPECT_EQ(encoded->map.raw_total(), 0u);
+    auto decoded = pipe.Decode(encoded->wire);
+    ASSERT_TRUE(decoded.ok()) << "combo " << combo;
+    EXPECT_TRUE(decoded->empty());
+    auto scanned = FrameMap::FromWire(encoded->wire);
+    ASSERT_TRUE(scanned.ok());
+    EXPECT_TRUE(scanned->frames().empty());
+  }
+}
+
+// All-identical bytes: content-defined chunking never finds a boundary (the
+// rolling hash is constant), so every chunk is max-sized and, with dedup,
+// all but the first (and a short tail) collapse to refs.
+TEST(ContentAdversarialTest, AllIdenticalBytesCollapseUnderDedup) {
+  ChunkIndex index;
+  ContentConfig cfg;
+  cfg.chunk = cfg.dedup = cfg.crc = true;
+  cfg.index = &index;
+  std::vector<uint8_t> raw(128 * 1024 + 777, 0xab);
+  StagePipeline pipe(cfg);
+  auto encoded = pipe.Encode(raw);
+  ASSERT_TRUE(encoded.ok());
+  // One unique max-sized chunk plus the odd-sized tail; everything else refs.
+  EXPECT_EQ(encoded->stats.dedup_hits, encoded->stats.chunks - 2);
+  EXPECT_EQ(encoded->stats.unique_bytes, cfg.max_chunk_bytes + 777u);
+  auto decoded = pipe.Decode(encoded->wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(std::equal(decoded->begin(), decoded->end(), raw.begin()));
+}
+
+// Raw ranges that straddle frame boundaries translate to frame-aligned wire
+// covers that fully contain them, and the watermark inverse stays monotone
+// and consistent at every offset.
+TEST(ContentAdversarialTest, BoundaryStraddlingRangesAndWatermarks) {
+  ChunkIndex index;
+  ContentConfig cfg;
+  cfg.chunk = cfg.compress = cfg.crc = true;
+  cfg.min_chunk_bytes = 64;
+  cfg.avg_chunk_bytes = 256;
+  cfg.max_chunk_bytes = 1024;
+  cfg.index = &index;
+  const std::vector<uint8_t> raw = MakeStream(13, 64 * 1024);
+  auto encoded = StagePipeline(cfg).Encode(raw);
+  ASSERT_TRUE(encoded.ok());
+  const FrameMap& map = encoded->map;
+  ASSERT_GT(map.frames().size(), 3u);
+
+  // A range straddling the 2nd/3rd frame boundary.
+  const FrameMap::Frame& f1 = map.frames()[1];
+  const FrameMap::Frame& f2 = map.frames()[2];
+  StreamRange straddle{f1.raw_begin + f1.raw_len / 2,
+                       f2.raw_begin + f2.raw_len / 2};
+  auto covers = map.WireRangesOf(std::span(&straddle, 1));
+  ASSERT_EQ(covers.size(), 1u);
+  EXPECT_LE(covers[0].begin, f1.wire_begin);
+  EXPECT_EQ(covers[0].end, f2.wire_begin + f2.wire_len);
+  // The cover holds at least the straddled raw bytes.
+  EXPECT_GE(map.RawSizeOfWireRange(covers[0]),
+            straddle.end - straddle.begin);
+
+  // WireOf / RawAvailable: monotone, mutually consistent, exact at edges.
+  EXPECT_EQ(map.WireOf(0), 0u);
+  EXPECT_EQ(map.WireOf(map.raw_total()), map.wire_total());
+  EXPECT_EQ(map.RawAvailable(map.wire_total()), map.raw_total());
+  uint64_t prev_wire = 0;
+  for (uint64_t r = 0; r <= map.raw_total(); r += 97) {
+    const uint64_t w = map.WireOf(r);
+    EXPECT_GE(w, prev_wire);
+    prev_wire = w;
+    EXPECT_LE(map.RawAvailable(w), r);  // never claims undecodable bytes
+  }
+  uint64_t prev_raw = 0;
+  for (uint64_t w = 0; w <= map.wire_total(); w += 101) {
+    const uint64_t r = map.RawAvailable(w);
+    EXPECT_GE(r, prev_raw);
+    prev_raw = r;
+  }
+}
+
+// A corrupted ChunkIndex entry must fail restore loudly with kCorruption —
+// never hand back wrong bytes.
+TEST(ContentAdversarialTest, CorruptedIndexEntryFailsDecodeLoudly) {
+  ChunkIndex index;
+  ContentConfig cfg;
+  cfg.chunk = cfg.dedup = cfg.compress = cfg.crc = true;
+  cfg.index = &index;
+  const std::vector<uint8_t> raw = MakeStream(17, 64 * 1024);
+  StagePipeline pipe(cfg);
+  auto encoded = pipe.Encode(raw);
+  ASSERT_TRUE(encoded.ok());
+
+  const std::vector<uint64_t> ends = pipe.ChunkBoundaries(raw);
+  ASSERT_FALSE(ends.empty());
+  const uint64_t h =
+      ContentHash(std::span(raw).first(static_cast<size_t>(ends[0])));
+  ASSERT_TRUE(index.CorruptEntryForTest(h));
+
+  auto decoded = pipe.Decode(encoded->wire);
+  ASSERT_FALSE(decoded.ok()) << "decode served corrupt store bytes";
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kCorruption);
+}
+
+// Decoding a store-backed stream without the backup's index is a usage
+// error, reported as such (not corruption, not silence).
+TEST(ContentAdversarialTest, StoreBackedDecodeWithoutIndexFails) {
+  ChunkIndex index;
+  ContentConfig cfg;
+  cfg.compress = true;
+  cfg.index = &index;
+  const std::vector<uint8_t> raw = MakeStream(19, 16 * 1024);
+  auto encoded = StagePipeline(cfg).Encode(raw);
+  ASSERT_TRUE(encoded.ok());
+  ContentConfig no_index;  // stages off, no store
+  auto decoded = StagePipeline(no_index).Decode(encoded->wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+// Truncated and bit-flipped wire images fail loudly too.
+TEST(ContentAdversarialTest, DamagedWireImageIsCorruption) {
+  ChunkIndex index;
+  ContentConfig cfg;
+  cfg.chunk = cfg.crc = true;
+  const std::vector<uint8_t> raw = MakeStream(23, 32 * 1024);
+  StagePipeline pipe(cfg);
+  auto encoded = pipe.Encode(raw);
+  ASSERT_TRUE(encoded.ok());
+
+  std::vector<uint8_t> torn = encoded->wire;
+  torn.resize(torn.size() - 100);
+  auto decoded = pipe.Decode(torn);
+  ASSERT_FALSE(decoded.ok());
+
+  std::vector<uint8_t> flipped = encoded->wire;
+  flipped[kContentStreamHeaderBytes + kContentFrameHeaderBytes + 7] ^= 0x01;
+  decoded = pipe.Decode(flipped);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kCorruption);
+
+  std::vector<uint8_t> bad_header = encoded->wire;
+  bad_header[5] ^= 0x80;
+  decoded = pipe.Decode(bad_header);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kCorruption);
+}
+
+// -------------------------------------------------------------- dedup safety
+
+// A hash collision (same ContentHash, different bytes) never dedups wrong:
+// encode detects the mismatch, falls back to a verbatim literal, and the
+// stream still round-trips byte-identically.
+TEST(ContentDedupSafetyTest, HashCollisionFallsBackToVerbatim) {
+  ChunkIndex index;
+  ContentConfig cfg;
+  cfg.chunk = cfg.dedup = cfg.compress = cfg.crc = true;
+  cfg.index = &index;
+  StagePipeline pipe(cfg);
+  const std::vector<uint8_t> raw = MakeStream(29, 64 * 1024);
+
+  // Poison the store: the first chunk's hash slot holds different bytes,
+  // simulating a collision with an earlier backup's chunk.
+  const std::vector<uint64_t> ends = pipe.ChunkBoundaries(raw);
+  const uint64_t h =
+      ContentHash(std::span(raw).first(static_cast<size_t>(ends[0])));
+  const std::vector<uint8_t> imposter(100, 0x77);
+  ASSERT_TRUE(index.Insert(h, imposter));
+
+  auto encoded = pipe.Encode(raw);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->stats.dedup_hits, 0u)
+      << "collision chunk must not dedup against different bytes";
+  auto decoded = pipe.Decode(encoded->wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(std::equal(decoded->begin(), decoded->end(), raw.begin()))
+      << "collision fallback must still round-trip";
+}
+
+// ------------------------------------------------------- ChunkIndex journal
+
+TEST(ChunkIndexJournalTest, SerializeLoadRoundTrip) {
+  ChunkIndex index;
+  uint64_t state = 42;
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> chunks;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<uint8_t> bytes(100 + i * 7);
+    for (uint8_t& v : bytes) {
+      v = static_cast<uint8_t>(SplitMix64(state));
+    }
+    const uint64_t h = ContentHash(bytes);
+    ASSERT_TRUE(index.Insert(h, bytes));
+    chunks.emplace_back(h, std::move(bytes));
+  }
+  const std::vector<uint8_t> image = index.Serialize(/*checkpoint_every=*/8);
+  auto loaded = ChunkIndex::Load(image);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), index.size());
+  EXPECT_EQ(loaded->stored_bytes(), index.stored_bytes());
+  for (const auto& [h, bytes] : chunks) {
+    const ChunkIndex::Entry* e = loaded->Find(h);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->bytes, bytes);
+    EXPECT_EQ(e->crc, Crc32c(bytes));
+  }
+  // Serialization is deterministic regardless of map iteration order.
+  EXPECT_EQ(image, loaded->Serialize(/*checkpoint_every=*/8));
+}
+
+TEST(ChunkIndexJournalTest, TornTailDropsUnsealedEntries) {
+  ChunkIndex index;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<uint8_t> bytes(64, static_cast<uint8_t>(i));
+    index.Insert(ContentHash(bytes), bytes);
+  }
+  std::vector<uint8_t> image = index.Serialize(/*checkpoint_every=*/4);
+  image.resize(image.size() - 30);  // tear mid-frame
+  auto loaded = ChunkIndex::Load(image);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_LT(loaded->size(), index.size());
+  EXPECT_GE(loaded->size(), 12u) << "earlier checkpoints must survive";
+}
+
+TEST(ChunkIndexJournalTest, FlipBeforeFirstCheckpointIsCorruption) {
+  ChunkIndex index;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<uint8_t> bytes(64, static_cast<uint8_t>(i));
+    index.Insert(ContentHash(bytes), bytes);
+  }
+  std::vector<uint8_t> image = index.Serialize(/*checkpoint_every=*/8);
+  image[10] ^= 0x20;  // inside the first entry, before any checkpoint
+  auto loaded = ChunkIndex::Load(image);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCorruption);
+}
+
+TEST(ChunkIndexJournalTest, FlipPastACheckpointKeepsSealedPrefix) {
+  ChunkIndex index;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<uint8_t> bytes(64, static_cast<uint8_t>(i));
+    index.Insert(ContentHash(bytes), bytes);
+  }
+  std::vector<uint8_t> image = index.Serialize(/*checkpoint_every=*/2);
+  image[image.size() - 40] ^= 0x20;  // damage near the tail
+  auto loaded = ChunkIndex::Load(image);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_LT(loaded->size(), index.size());
+  EXPECT_GE(loaded->size(), 8u);
+}
+
+TEST(ChunkIndexJournalTest, EmptyIndexRoundTrips) {
+  ChunkIndex index;
+  auto loaded = ChunkIndex::Load(index.Serialize());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+// -------------------------------------------------------------- config/CPU
+
+TEST(ContentConfigTest, ValidateRejectsBadGeometry) {
+  ContentConfig cfg;
+  cfg.chunk = true;
+  cfg.avg_chunk_bytes = 3000;  // not a power of two
+  EXPECT_EQ(cfg.Validate().code(), ErrorCode::kInvalidArgument);
+
+  cfg = {};
+  cfg.chunk = true;
+  cfg.min_chunk_bytes = 16;  // below the rolling window
+  cfg.avg_chunk_bytes = 64;
+  cfg.max_chunk_bytes = 128;
+  EXPECT_EQ(cfg.Validate().code(), ErrorCode::kInvalidArgument);
+
+  cfg = {};
+  cfg.compress = true;  // store-backed stages need an index
+  EXPECT_EQ(cfg.Validate().code(), ErrorCode::kInvalidArgument);
+
+  cfg = {};
+  ChunkIndex index;
+  cfg.compress = true;
+  cfg.index = &index;
+  cfg.compress_ratio = 1.0;
+  EXPECT_EQ(cfg.Validate().code(), ErrorCode::kInvalidArgument);
+
+  cfg = {};
+  EXPECT_TRUE(cfg.Validate().ok()) << "all-off config is always valid";
+}
+
+TEST(ContentConfigTest, CpuPricesSumEnabledStages) {
+  ChunkIndex index;
+  ContentConfig cfg;
+  cfg.chunk = cfg.dedup = cfg.compress = cfg.crc = true;
+  cfg.index = &index;
+  EXPECT_EQ(cfg.EncodeCpuPerMb(),
+            cfg.chunk_cpu_us_per_mb + cfg.dedup_cpu_us_per_mb +
+                cfg.compress_cpu_us_per_mb + cfg.crc_cpu_us_per_mb);
+  EXPECT_EQ(cfg.DecodeCpuPerMb(),
+            cfg.crc_cpu_us_per_mb + cfg.decode_cpu_us_per_mb);
+  ContentConfig off;
+  EXPECT_EQ(off.EncodeCpuPerMb(), 0);
+  EXPECT_EQ(off.DecodeCpuPerMb(), 0);
+}
+
+}  // namespace
+}  // namespace bkup

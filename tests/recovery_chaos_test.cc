@@ -31,7 +31,9 @@
 #include "src/dump/catalog.h"
 #include "src/dump/logical_dump.h"
 #include "src/dump/logical_restore.h"
+#include "src/content/content.h"
 #include "src/faults/crash.h"
+#include "src/faults/fault_injector.h"
 #include "src/fs/filesystem.h"
 #include "src/net/link.h"
 #include "src/net/tape_server.h"
@@ -510,6 +512,201 @@ TEST(RecoveryChaosTest, RemoteSingleFileRestoreCostsOFile) {
       rfs->Read(*got, 0, needle_data.size() + 16, &got_data).ok());
   ASSERT_EQ(got_data.size(), needle_data.size());
   EXPECT_EQ(Crc32c(got_data), Crc32c(needle_data));
+}
+
+// ----------------------------------------- kills inside an active pipeline
+
+// One compressed+dedup'd remote dump, optionally through a mid-stream link
+// outage, then a remote restore of the wire media with the same ChunkIndex.
+struct ContentOutageRun {
+  Status backup_status;
+  Status restore_status;
+  FaultCounters faults;
+  ContentStats content;
+  uint64_t raw_stream_bytes = 0;
+  uint64_t media_bytes = 0;
+  uint32_t media_crc = 0;
+  bool restored_identical = false;
+};
+
+ContentOutageRun RunCompressedRemoteDump(bool outage) {
+  SimEnvironment env;
+  NetLink link(&env, "wan", LinkParams{});
+  TapeServer server(&env, "vault");
+  TapeDrive* drive = server.AddDrive("dlt0");
+  Tape media("night.0", 32 * kMiB);
+  drive->LoadMedia(&media);
+  Filer filer(&env, FilerModel::F630());
+
+  auto volume = Volume::Create(&env, "src", Geometry());
+  auto fs = std::move(Filesystem::Format(volume.get(), &env)).value();
+  WorkloadParams params;
+  params.seed = 808 + SeedOffset();
+  params.target_bytes = 3 * kMiB;
+  EXPECT_TRUE(PopulateFilesystem(fs.get(), params).ok());
+  const auto source_sums = ChecksumTree(fs->LiveReader()).value();
+
+  ChunkIndex index;
+  ContentConfig content;
+  content.chunk = content.dedup = content.compress = content.crc = true;
+  content.index = &index;
+
+  SupervisionPolicy policy;
+  RemoteTarget target;
+  target.link = &link;
+  target.server = &server;
+  target.drive = drive;
+  target.supervision = &policy;
+  target.content = content;
+
+  // Cable pull over the start of the streaming phase (after the 30 s
+  // snapshot quiesce), long enough to exhaust every frame's retransmit
+  // budget: the session dies mid-pipeline and the supervisor reconnects,
+  // resuming the *wire* stream from the receiver's acked floor.
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.LinkDown("wan", 30 * kSecond, 33 * kSecond);
+  FaultInjector injector(&env, plan);
+  if (outage) {
+    injector.Arm(&link);
+  }
+
+  ContentOutageRun run;
+  LogicalBackupJobResult backup;
+  CountdownLatch done(&env, 1);
+  env.Spawn(RemoteLogicalBackupJob(&filer, fs.get(), target,
+                                   LogicalDumpOptions{}, &backup, &done));
+  env.Run();
+  run.backup_status = backup.report.status;
+  if (!run.backup_status.ok()) {
+    return run;
+  }
+  run.faults = backup.report.faults;
+  run.content = backup.report.content;
+  run.raw_stream_bytes = backup.dump.stream.size();
+  run.media_bytes = media.contents().size();
+  run.media_crc = Crc32c(media.contents());
+
+  if (!drive->SeekTo(0).ok()) {
+    run.restore_status = IoError("rewind failed");
+    return run;
+  }
+  auto rvolume = Volume::Create(&env, "r", Geometry());
+  auto rfs = std::move(Filesystem::Format(rvolume.get(), &env)).value();
+  LogicalRestoreJobResult restore;
+  CountdownLatch rdone(&env, 1);
+  env.Spawn(RemoteLogicalRestoreJob(&filer, rfs.get(), target,
+                                    LogicalRestoreOptions{}, false, &restore,
+                                    &rdone));
+  env.Run();
+  run.restore_status = restore.report.status;
+  if (run.restore_status.ok()) {
+    run.restored_identical =
+        ChecksumTree(rfs->LiveReader()).value() == source_sums;
+  }
+  return run;
+}
+
+// A link outage that kills the session mid-pipeline must not change what
+// the stages produced or charged: the reconnect resends already-encoded
+// wire bytes from the session buffer, so the outage run pays the same
+// encode CPU, ships the same wire image, and restores byte-identically.
+TEST(RecoveryChaosTest, CompressedRemoteDumpOutageNeverDoubleChargesEncode) {
+  const ContentOutageRun clean = RunCompressedRemoteDump(/*outage=*/false);
+  ASSERT_TRUE(clean.backup_status.ok()) << clean.backup_status.ToString();
+  ASSERT_TRUE(clean.restore_status.ok()) << clean.restore_status.ToString();
+  EXPECT_EQ(clean.faults.link_reconnects, 0u);
+  EXPECT_TRUE(clean.restored_identical);
+  EXPECT_GT(clean.content.encode_cpu_us, 0u);
+  EXPECT_LT(clean.media_bytes, clean.raw_stream_bytes)
+      << "the tape must hold the (smaller) wire image, not raw bytes";
+  EXPECT_EQ(clean.media_bytes, clean.content.wire_bytes);
+
+  const ContentOutageRun hurt = RunCompressedRemoteDump(/*outage=*/true);
+  ASSERT_TRUE(hurt.backup_status.ok()) << hurt.backup_status.ToString();
+  ASSERT_TRUE(hurt.restore_status.ok()) << hurt.restore_status.ToString();
+  EXPECT_GE(hurt.faults.link_reconnects, 1u) << "the outage must kill a conn";
+  EXPECT_GT(hurt.faults.link_bytes_resent, 0u);
+  EXPECT_TRUE(hurt.restored_identical)
+      << "restore after mid-pipeline kill must be byte-identical";
+
+  // The property under test: resending wire bytes is not re-encoding.
+  EXPECT_EQ(hurt.content.encode_cpu_us, clean.content.encode_cpu_us)
+      << "reconnect resend must not re-charge stage CPU";
+  EXPECT_EQ(hurt.content.raw_bytes, clean.content.raw_bytes);
+  EXPECT_EQ(hurt.content.wire_bytes, clean.content.wire_bytes);
+  EXPECT_EQ(hurt.content.dedup_hits, clean.content.dedup_hits);
+  EXPECT_EQ(hurt.media_crc, clean.media_crc)
+      << "the wire image on the vault must not depend on the outage";
+}
+
+// Crash-resumable restore of a compressed tape: the acked floor and the
+// catalog's offsets live in raw coordinates while the media holds wire
+// bytes; each incarnation must translate its bounded replay through the
+// FrameMap, converge on a byte-identical tree, and pay decode CPU only for
+// the wire it actually moved (strictly less than attempts x a full decode).
+TEST(RecoveryChaosTest, CompressedTapeResumableRestoreSurvivesKills) {
+  DumpedWorkload w(4242 + SeedOffset());
+  Filer filer(&w.env, FilerModel::F630());
+  Tape media("night.0", 32 * kMiB);
+  TapeDrive drive(&w.env, "dlt0");
+  drive.LoadMedia(&media);
+  SupervisionPolicy policy;
+
+  ChunkIndex index;
+  ContentConfig content;
+  content.chunk = content.dedup = content.compress = content.crc = true;
+  content.index = &index;
+
+  LogicalBackupJobResult backup;
+  CountdownLatch done(&w.env, 1);
+  w.env.Spawn(LogicalBackupJob(&filer, w.src.get(), &drive,
+                               LogicalDumpOptions{}, &backup, &done, {},
+                               &policy, {}, content));
+  w.env.Run();
+  ASSERT_TRUE(backup.report.status.ok()) << backup.report.status.ToString();
+  ASSERT_LT(media.contents().size(), backup.dump.stream.size())
+      << "compressed backup must write wire bytes to tape";
+  auto catalog = TapeCatalog::Load(backup.dump.catalog_image);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+
+  const uint64_t dir_end = catalog->directory_end();
+  const uint64_t stream_end = catalog->stream_end();
+  CrashPlan plan;
+  plan.seed = 77;
+  plan.KillAtOffset(dir_end + (stream_end - dir_end) / 3)
+      .KillAtOffset(dir_end + 2 * (stream_end - dir_end) / 3);
+  CrashInjector injector(plan);
+
+  auto volume = Volume::Create(&w.env, "r", Geometry());
+  auto fs = std::move(Filesystem::Format(volume.get(), &w.env)).value();
+  ResumableRestoreConfig cfg;
+  cfg.catalog = &*catalog;
+  cfg.kill = &injector;
+  cfg.checkpoint_every = 8;
+  cfg.content = content;
+  ResumableRestoreJobResult result;
+  CountdownLatch rdone(&w.env, 1);
+  w.env.Spawn(ResumableLogicalRestoreJob(&filer, &fs, volume.get(), &drive,
+                                         LogicalRestoreOptions{}, false,
+                                         &policy, cfg, &result, &rdone));
+  w.env.Run();
+
+  ASSERT_TRUE(result.report.status.ok()) << result.report.status.ToString();
+  EXPECT_EQ(result.attempts, 3u) << "two kills = three incarnations";
+  EXPECT_FALSE(result.restore.interrupted);
+  EXPECT_EQ(result.report.resume.resumes, 2u);
+  EXPECT_EQ(ChecksumTree(fs->LiveReader()).value(), w.source_sums)
+      << "resumed restore of compressed media must be byte-identical";
+
+  // Bounded decode: a full-stream decode costs DecodeCpuPerMb() x raw MB;
+  // three incarnations that each replayed everything would pay 3x that.
+  const uint64_t full_decode_us =
+      content.DecodeCpuPerMb() * backup.dump.stream.size() / 1000000;
+  EXPECT_GT(result.report.content.decode_cpu_us, 0u);
+  EXPECT_LT(result.report.content.decode_cpu_us,
+            result.attempts * full_decode_us)
+      << "bounded replay must not pay decode CPU for skipped wire";
 }
 
 }  // namespace

@@ -13,7 +13,9 @@ Keeps the prose honest against the tree:
   4. every committed baseline bench/baselines/BENCH_*.json is covered by
      EXPERIMENTS.md (a bench without a write-up is an orphan artifact);
   5. every relative link in README.md resolves to a file or directory
-     that exists in the tree.
+     that exists in the tree;
+  6. every tests/*_test.cc is registered in tests/CMakeLists.txt (a test
+     file that never builds is silently dead coverage).
 
 Usage: check_docs.py [repo_root]   (defaults to the parent of tools/)
 """
@@ -131,6 +133,25 @@ def check_baseline_experiments(root, errors):
                     "(orphan baseline artifact)" % name)
 
 
+def check_test_registration(root, errors):
+    """Every tests/*_test.cc must appear in tests/CMakeLists.txt."""
+    tests_dir = os.path.join(root, "tests")
+    cml_path = os.path.join(tests_dir, "CMakeLists.txt")
+    if not os.path.exists(cml_path):
+        errors.append("tests/CMakeLists.txt does not exist")
+        return
+    with open(cml_path, encoding="utf-8") as f:
+        cml = f.read()
+    for name in sorted(os.listdir(tests_dir)):
+        if not name.endswith("_test.cc"):
+            continue
+        stem = name[:-len(".cc")]
+        if not re.search(r"\b%s\b" % re.escape(stem), cml):
+            errors.append(
+                "tests/%s is not registered in tests/CMakeLists.txt "
+                "(dead test file — it never builds or runs)" % name)
+
+
 def check_readme_links(root, errors):
     """Relative README links must resolve inside the tree."""
     readme = os.path.join(root, "README.md")
@@ -161,6 +182,7 @@ def main(argv):
     check_changes(root, errors)
     check_baseline_experiments(root, errors)
     check_readme_links(root, errors)
+    check_test_registration(root, errors)
     if errors:
         return fail(errors)
     print("documentation checks OK")
