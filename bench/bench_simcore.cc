@@ -1,0 +1,504 @@
+// Simulation-core bench: the two gates behind the parallel-DES PR.
+//
+// Part A (hot path): the calendar-queue SimEnvironment against a faithful
+// in-bench copy of the old std::priority_queue event loop, driving an
+// identical coroutine actor storm (deep queue, delay mix spanning ready
+// ring, staged bucket, wheel and overflow heap). Gate: >= 1.3x events/s,
+// and both engines must agree exactly on final clock and event count.
+//
+// Part B (sharding): a 4-filer fleet — each filer a SimShard owning its
+// volumes, drives, library and NightlyScheduler, filers ack night
+// completion to a shard-0 coordinator over a WAN-class replication link
+// (NetLink::BindShards declares the 500 ms propagation delay as the
+// conservative lookahead). The night is run at 1, 2 and 4 worker threads;
+// the concatenated per-shard artifacts (executed-schedule serialization,
+// final clocks, event counts, ack log, full metrics dump) must be
+// byte-identical across thread counts — a hard gate at any core count.
+// The >= 1.6x wall-clock speedup gate at 4 threads applies only when the
+// host actually has >= 4 hardware threads (recorded either way).
+//
+// `--json[=path]` writes BENCH_simcore.json (report contract of
+// tools/check_trace.py, plus a "simcore" section with both gates).
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <queue>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/backup/scheduler.h"
+#include "src/net/link.h"
+#include "src/obs/utilization.h"
+#include "src/sim/shard.h"
+
+namespace bkup {
+namespace {
+
+// ------------------------------------------------- Part A: hot-path A/B ---
+
+// The pre-PR event loop, kept verbatim as the measurement baseline: a
+// (when, seq)-ordered binary heap, top() copied then popped per event.
+class LegacyEnvironment {
+ public:
+  SimTime now() const { return now_; }
+
+  void ScheduleAt(SimTime when, std::coroutine_handle<> handle) {
+    queue_.push(Event{when, next_seq_++, handle});
+  }
+
+  void Spawn(Task task) {
+    auto handle = task.Release();
+    handle.promise().started = true;
+    ScheduleAt(now_, handle);
+  }
+
+  SimTime Run() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.when;
+      ++events_processed_;
+      ev.handle.resume();
+    }
+    return now_;
+  }
+
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+// Generic awaiter so the identical actor body drives either engine.
+template <typename Env>
+struct DelayOn {
+  Env* env;
+  SimDuration d;
+  bool await_ready() const noexcept { return d <= 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    env->ScheduleAt(env->now() + d, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+// One simulated process: a seeded walk over the delay mix a real backup
+// night produces — zero-delay continuation chains (channel handoffs),
+// sub-bucket jitters (disk completions), wheel-range waits (frame clocks,
+// throttle refills) and far-future timers (retransmit/SLO deadlines).
+template <typename Env>
+Task Actor(Env* env, uint32_t seed, int steps) {
+  std::minstd_rand rng(seed == 0 ? 1 : seed);
+  for (int s = 0; s < steps; ++s) {
+    // Weighted like a busy night: handoffs and device completions dominate,
+    // long timers (retransmit deadlines, SLO ticks) are the rare tail.
+    SimDuration d = 0;
+    const uint32_t pick = rng() % 16;
+    if (pick < 6) {
+      d = 0;
+    } else if (pick < 11) {
+      d = static_cast<SimDuration>(rng() % 64);
+    } else if (pick < 15) {
+      d = static_cast<SimDuration>(rng() % (60 * kMillisecond));
+    } else {
+      d = 100 * kMillisecond +
+          static_cast<SimDuration>(rng() % (1900 * kMillisecond));
+    }
+    co_await DelayOn<Env>{env, d};
+  }
+}
+
+struct HotPathRun {
+  double seconds = 0.0;
+  uint64_t events = 0;
+  SimTime end = 0;
+  double events_per_s() const { return events / seconds; }
+};
+
+template <typename Env>
+HotPathRun RunHotPath(int actors, int steps) {
+  Env env;
+  for (int a = 0; a < actors; ++a) {
+    env.Spawn(Actor<Env>(&env, static_cast<uint32_t>(a) * 2654435761u + 7,
+                         steps));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const SimTime end = env.Run();
+  const auto t1 = std::chrono::steady_clock::now();
+  HotPathRun run;
+  run.seconds = std::chrono::duration<double>(t1 - t0).count();
+  run.events = env.events_processed();
+  run.end = end;
+  return run;
+}
+
+struct HotPathResult {
+  HotPathRun legacy;
+  HotPathRun current;
+  double speedup = 0.0;
+};
+
+HotPathResult MeasureHotPath() {
+  constexpr int kActors = 24576;  // deep queue: heap depth ~15 for the pq
+  constexpr int kSteps = 48;
+  constexpr int kTrials = 3;
+  HotPathResult best;
+  for (int t = 0; t < kTrials; ++t) {
+    const HotPathRun legacy = RunHotPath<LegacyEnvironment>(kActors, kSteps);
+    const HotPathRun current = RunHotPath<SimEnvironment>(kActors, kSteps);
+    // Both engines implement one contract; disagreement on the final clock
+    // or event count means the new queue reordered something.
+    if (legacy.end != current.end || legacy.events != current.events) {
+      std::fprintf(stderr,
+                   "FATAL: engines diverged (end %lld vs %lld, events %llu "
+                   "vs %llu)\n",
+                   static_cast<long long>(legacy.end),
+                   static_cast<long long>(current.end),
+                   static_cast<unsigned long long>(legacy.events),
+                   static_cast<unsigned long long>(current.events));
+      std::abort();
+    }
+    if (t == 0 || legacy.seconds < best.legacy.seconds) {
+      best.legacy = legacy;
+    }
+    if (t == 0 || current.seconds < best.current.seconds) {
+      best.current = current;
+    }
+  }
+  best.speedup = best.current.events_per_s() / best.legacy.events_per_s();
+  return best;
+}
+
+// --------------------------------------------- Part B: 4-filer fleet DES ---
+
+constexpr int kShards = 4;
+constexpr uint64_t kVolumeBytes = 2 * kMiB;
+constexpr int kVolumesPerShard = 3;
+constexpr int kDrivesPerShard = 2;
+
+VolumeGeometry ShardGeometry() {
+  VolumeGeometry geom;
+  geom.num_raid_groups = 1;
+  geom.disks_per_group = 4;
+  geom.blocks_per_disk = 2048;
+  return geom;
+}
+
+// Everything one filer shard owns. Built under the shard's binding so every
+// cached metric handle lands in the shard-private registry.
+struct ShardScene {
+  std::unique_ptr<Filer> filer;
+  std::unique_ptr<TapeLibrary> library;
+  std::unique_ptr<SupervisionPolicy> policy;
+  std::vector<std::unique_ptr<Volume>> volumes;
+  std::vector<std::unique_ptr<Filesystem>> filesystems;
+  std::vector<std::unique_ptr<TapeDrive>> drives;
+  std::vector<std::unique_ptr<UtilizationSampler>> samplers;
+  std::unique_ptr<NetLink> uplink;  // to the shard-0 coordinator
+  std::unique_ptr<NightlyScheduler> scheduler;
+  NightReport report;
+  std::unique_ptr<CountdownLatch> done;
+};
+
+struct AckLog {
+  std::vector<std::pair<int, SimTime>> entries;  // (filer shard, arrival)
+};
+
+Task AckArrives(SimEnvironment* env0, int from, AckLog* log) {
+  log->entries.push_back({from, env0->now()});
+  co_return;
+}
+
+// Waits for the shard's night, then reports completion to the coordinator
+// over the replication link (one lookahead later — the soonest a message
+// may cross).
+Task WatchNight(ShardedSimEnvironment* sharded, int i, CountdownLatch* done,
+                AckLog* log) {
+  co_await done->Wait();
+  if (i == 0) {
+    log->entries.push_back({0, sharded->shard(0).now()});
+    co_return;
+  }
+  const SimDuration lookahead = *sharded->Lookahead(i, 0);
+  sharded->PostTask(i, 0, sharded->shard(i).now() + lookahead,
+                    AckArrives(&sharded->shard(0).env(), i, log));
+}
+
+void BuildShardScene(ShardedSimEnvironment* sharded, int i, ShardScene* scene,
+                     AckLog* acks) {
+  SimShard& shard = sharded->shard(i);
+  ShardBinding binding = shard.Bind();
+  SimEnvironment* env = &shard.env();
+  const std::string prefix = "s" + std::to_string(i);
+
+  scene->filer = std::make_unique<Filer>(env, FilerModel::F630());
+  scene->library =
+      std::make_unique<TapeLibrary>(prefix + ".lib", 64 * kMiB, 0);
+  scene->policy = std::make_unique<SupervisionPolicy>();
+
+  std::vector<VolumeSpec> specs;
+  for (int v = 0; v < kVolumesPerShard; ++v) {
+    const std::string name = prefix + ".vol" + std::to_string(v);
+    scene->volumes.push_back(Volume::Create(env, name, ShardGeometry()));
+    auto fs =
+        std::move(Filesystem::Format(scene->volumes.back().get(), env))
+            .value();
+    WorkloadParams params;
+    params.seed = 42 + static_cast<uint64_t>(i) * 17 +
+                  static_cast<uint64_t>(v);
+    params.target_bytes = kVolumeBytes;
+    bench::CheckStatus(PopulateFilesystem(fs.get(), params).status(),
+                       "populate");
+    scene->filesystems.push_back(std::move(fs));
+
+    VolumeSpec spec;
+    spec.name = name;
+    spec.fs = scene->filesystems.back().get();
+    spec.mode = BackupMode::kImage;
+    spec.estimated_bytes = kVolumeBytes;
+    specs.push_back(std::move(spec));
+  }
+
+  FleetConfig config;
+  for (int d = 0; d < kDrivesPerShard; ++d) {
+    scene->drives.push_back(std::make_unique<TapeDrive>(
+        env, prefix + ".d" + std::to_string(d)));
+    config.drives.push_back(scene->drives.back().get());
+    scene->samplers.push_back(std::make_unique<UtilizationSampler>(
+        &scene->drives.back()->unit(), 10 * kSecond));
+  }
+  config.library = scene->library.get();
+  config.supervision = scene->policy.get();
+
+  // The control/replication uplink to the coordinator: WAN-class latency.
+  // Its propagation delay IS the conservative lookahead between the filer
+  // and shard 0, so the round window stays makespan/0.5s — coarse enough
+  // that barrier synchronization cost is noise.
+  if (i != 0) {
+    LinkParams wan;
+    wan.bandwidth_mb_per_s = 12.5;
+    wan.propagation_delay = 500 * kMillisecond;
+    scene->uplink = std::make_unique<NetLink>(env, prefix + ".uplink", wan);
+    scene->uplink->BindShards(sharded, i, 0);
+  }
+
+  scene->scheduler = std::make_unique<NightlyScheduler>(
+      scene->filer.get(), config, std::move(specs));
+  scene->done = std::make_unique<CountdownLatch>(env, 1);
+  shard.Spawn(scene->scheduler->Run(&scene->report, scene->done.get()));
+  shard.Spawn(WatchNight(sharded, i, scene->done.get(), acks));
+}
+
+struct FleetRun {
+  std::string artifact;  // byte-identical across thread counts, or bust
+  double wall_seconds = 0.0;
+  SimTime sim_end = 0;
+  uint64_t total_events = 0;
+  uint64_t rounds = 0;
+};
+
+// Runs the 4-filer night at the given worker count. When `w` is non-null,
+// the report-contract sections (sim_elapsed_s, jobs, utilization, metrics)
+// are appended to it while the shards are still alive.
+FleetRun RunFleet(int threads, JsonWriter* w) {
+  ShardedSimEnvironment sharded(kShards, ShardedOptions{threads});
+  std::vector<ShardScene> scenes(kShards);
+  AckLog acks;
+  for (int i = 0; i < kShards; ++i) {
+    BuildShardScene(&sharded, i, &scenes[i], &acks);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const SimTime end = sharded.Run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  FleetRun run;
+  run.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  run.sim_end = end;
+  run.total_events = sharded.total_events_processed();
+  run.rounds = sharded.rounds();
+
+  // The determinism artifact: every observable a shard produced, in shard
+  // order. Any thread-count dependence anywhere in the engine shows up as
+  // a byte difference here.
+  std::string a;
+  for (int i = 0; i < kShards; ++i) {
+    ShardScene& scene = scenes[i];
+    bench::CheckStatus(scene.report.status, "night");
+    a += "=== shard " + std::to_string(i) + " ===\n";
+    a += scene.report.SerializeExecution();
+    a += "clock=" + std::to_string(sharded.shard(i).now()) +
+         " events=" +
+         std::to_string(sharded.shard(i).env().events_processed()) + "\n";
+    a += sharded.shard(i).metrics().ToJson();
+    a += "\n";
+  }
+  a += "acks:";
+  for (const auto& [from, at] : acks.entries) {
+    a += " " + std::to_string(from) + "@" + std::to_string(at);
+  }
+  a += "\n";
+  run.artifact = std::move(a);
+
+  if (w != nullptr) {
+    w->Field("sim_elapsed_s", SimToSeconds(end));
+    w->Key("jobs").BeginArray();
+    for (const ShardScene& scene : scenes) {
+      for (const VolumeOutcome& v : scene.report.volumes) {
+        JobReport r = v.report;
+        r.name = v.name;
+        r.WriteJson(w);
+      }
+    }
+    w->EndArray();
+    w->Key("utilization").BeginArray();
+    for (ShardScene& scene : scenes) {
+      for (auto& sampler : scene.samplers) {
+        sampler->Finish(end);
+        sampler->WriteJson(w);
+      }
+    }
+    w->EndArray();
+    // Shard 0's registry: the coordinator filer's full series set. (Each
+    // shard owns a private registry; dumping one keeps the report bounded.)
+    w->Key("metrics");
+    sharded.shard(0).metrics().WriteJson(w);
+  }
+  return run;
+}
+
+// ------------------------------------------------------------ reporting ---
+
+int Run(int argc, char** argv) {
+  const std::string json_path =
+      bench::JsonPathFromArgs(argc, argv, "BENCH_simcore.json");
+
+  bench::PrintBanner(
+      "Simulation core: event-queue hot path + sharded parallel DES",
+      "engine work enabling every paper table; determinism per DESIGN.md "
+      "S17");
+
+  bool gate_ok = true;
+
+  // Part A.
+  const HotPathResult hot = MeasureHotPath();
+  std::printf("\nhot path (%llu events, identical actor storm):\n",
+              static_cast<unsigned long long>(hot.current.events));
+  std::printf("  %-28s %12.0f events/s\n", "legacy priority_queue loop",
+              hot.legacy.events_per_s());
+  std::printf("  %-28s %12.0f events/s\n", "calendar-queue environment",
+              hot.current.events_per_s());
+  std::printf("  speedup: %.2fx (gate: >= 1.30x)\n", hot.speedup);
+  if (hot.speedup < 1.30) {
+    std::printf("  GATE FAILED: hot-path speedup below 1.30x\n");
+    gate_ok = false;
+  }
+
+  // Part B: determinism across thread counts (hard, any host), then
+  // wall-clock scaling (enforced only with >= 4 hardware threads).
+  JsonWriter w;
+  const bool want_json = !json_path.empty();
+  if (want_json) {
+    w.BeginObject();
+    w.Field("bench", "simcore");
+    w.Key("config")
+        .BeginObject()
+        .Field("hot_path_actors", static_cast<uint64_t>(24576))
+        .Field("shards", static_cast<uint64_t>(kShards))
+        .Field("volumes_per_shard", static_cast<uint64_t>(kVolumesPerShard))
+        .Field("drives_per_shard", static_cast<uint64_t>(kDrivesPerShard))
+        .Field("bytes_per_volume", kVolumeBytes)
+        .Field("hardware_threads",
+               static_cast<uint64_t>(std::thread::hardware_concurrency()))
+        .EndObject();
+  }
+  const FleetRun run1 = RunFleet(1, want_json ? &w : nullptr);
+  const FleetRun run2 = RunFleet(2, nullptr);
+  const FleetRun run4 = RunFleet(4, nullptr);
+  std::printf("\nfleet night, %d filer shards (%llu events, %llu rounds, "
+              "sim %s):\n",
+              kShards, static_cast<unsigned long long>(run1.total_events),
+              static_cast<unsigned long long>(run1.rounds),
+              FormatDuration(run1.sim_end).c_str());
+  std::printf("  threads=1: %8.3f s wall\n", run1.wall_seconds);
+  std::printf("  threads=2: %8.3f s wall\n", run2.wall_seconds);
+  std::printf("  threads=4: %8.3f s wall\n", run4.wall_seconds);
+
+  const bool identical =
+      run1.artifact == run2.artifact && run1.artifact == run4.artifact;
+  std::printf("  determinism: artifacts (%zu bytes) %s\n",
+              run1.artifact.size(),
+              identical ? "byte-identical across 1/2/4 threads"
+                        : "DIVERGED");
+  if (!identical || run1.sim_end != run2.sim_end ||
+      run1.sim_end != run4.sim_end) {
+    std::printf("  GATE FAILED: parallel run not byte-identical\n");
+    gate_ok = false;
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double parallel_speedup = run1.wall_seconds / run4.wall_seconds;
+  std::printf("  4-thread speedup: %.2fx (host has %u hardware threads; "
+              "gate %s)\n",
+              parallel_speedup, hw,
+              hw >= 4 ? "enforced: >= 1.60x" : "recorded only");
+  if (hw >= 4 && parallel_speedup < 1.60) {
+    std::printf("  GATE FAILED: 4-shard speedup below 1.60x\n");
+    gate_ok = false;
+  }
+
+  if (want_json) {
+    w.Key("simcore")
+        .BeginObject()
+        .Field("hot_path_legacy_events_per_s", hot.legacy.events_per_s())
+        .Field("hot_path_events_per_s", hot.current.events_per_s())
+        .Field("hot_path_speedup", hot.speedup)
+        .Field("hot_path_events", hot.current.events)
+        .Field("fleet_events", run1.total_events)
+        .Field("fleet_rounds", run1.rounds)
+        .Field("wall_s_threads1", run1.wall_seconds)
+        .Field("wall_s_threads2", run2.wall_seconds)
+        .Field("wall_s_threads4", run4.wall_seconds)
+        .Field("parallel_speedup_4", parallel_speedup)
+        .Field("artifact_bytes", static_cast<uint64_t>(run1.artifact.size()))
+        .Field("deterministic", identical)
+        .Field("speedup_gate_enforced", hw >= 4)
+        .EndObject();
+    w.EndObject();
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    bench::Check(f != nullptr ? Status::Ok() : IoError("open " + json_path),
+                 "json open");
+    const std::string json = w.Take();
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+        std::fclose(f) == 0;
+    bench::Check(ok ? Status::Ok() : IoError("write " + json_path),
+                 "json write");
+    std::printf("wrote %s (%zu bytes)\n", json_path.c_str(), json.size());
+  }
+
+  std::printf("\nRESULT: %s\n", gate_ok ? "PASS" : "FAIL");
+  return gate_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bkup
+
+int main(int argc, char** argv) { return bkup::Run(argc, argv); }

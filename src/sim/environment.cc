@@ -1,6 +1,5 @@
 #include "src/sim/environment.h"
 
-#include <algorithm>
 #include <cassert>
 #include <vector>
 
@@ -10,40 +9,47 @@ namespace bkup {
 
 namespace {
 
-// Stack of live environments; the newest is "active". Registration is what
-// lets log messages carry simulated time without util depending on sim.
-std::vector<SimEnvironment*>& ActiveStack() {
-  static std::vector<SimEnvironment*>* stack =
-      new std::vector<SimEnvironment*>();
-  return *stack;
-}
+// Per-thread stack of live/activated environments; the newest is "active".
+// Registration is what lets log messages carry simulated time without util
+// depending on sim. The stack is thread-local so shard worker threads each
+// see their own shard's clock, and `t_active` caches the top so the lookup
+// on the logging path is a single pointer read.
+thread_local std::vector<SimEnvironment*> t_env_stack;
+thread_local SimEnvironment* t_active = nullptr;
 
 int64_t ActiveSimTimeMicros() {
-  SimEnvironment* env = SimEnvironment::Active();
-  return env != nullptr ? env->now() : -1;
+  return t_active != nullptr ? t_active->now() : -1;
 }
 
 }  // namespace
 
-SimEnvironment::SimEnvironment() {
-  ActiveStack().push_back(this);
+void SimEnvironment::PushActive(SimEnvironment* env) {
+  t_env_stack.push_back(env);
+  t_active = env;
   SetSimLogClock(&ActiveSimTimeMicros);
 }
 
-SimEnvironment::~SimEnvironment() {
-  std::vector<SimEnvironment*>& stack = ActiveStack();
-  stack.erase(std::remove(stack.begin(), stack.end(), this), stack.end());
+void SimEnvironment::PopActive(SimEnvironment* env) {
+  // Remove the newest occurrence; environments normally unwind LIFO but a
+  // bench may destroy them out of order.
+  for (size_t i = t_env_stack.size(); i > 0; --i) {
+    if (t_env_stack[i - 1] == env) {
+      t_env_stack.erase(t_env_stack.begin() + static_cast<ptrdiff_t>(i - 1));
+      break;
+    }
+  }
+  // Re-arm the new stack top (or disarm the sim clock entirely) so log
+  // prefixes fall back to the enclosing environment's clock instead of
+  // dangling on the destroyed one.
+  t_active = t_env_stack.empty() ? nullptr : t_env_stack.back();
+  SetSimLogClock(t_active != nullptr ? &ActiveSimTimeMicros : nullptr);
 }
 
-SimEnvironment* SimEnvironment::Active() {
-  std::vector<SimEnvironment*>& stack = ActiveStack();
-  return stack.empty() ? nullptr : stack.back();
-}
+SimEnvironment::SimEnvironment() { PushActive(this); }
 
-void SimEnvironment::ScheduleAt(SimTime when, std::coroutine_handle<> handle) {
-  assert(when >= now_ && "cannot schedule into the simulated past");
-  queue_.push(Event{when, next_seq_++, handle});
-}
+SimEnvironment::~SimEnvironment() { PopActive(this); }
+
+SimEnvironment* SimEnvironment::Active() { return t_active; }
 
 void SimEnvironment::Spawn(Task task) {
   auto handle = task.Release();
@@ -53,9 +59,8 @@ void SimEnvironment::Spawn(Task task) {
 }
 
 SimTime SimEnvironment::Run() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+  while (!queue_.Empty()) {
+    const QueuedEvent ev = queue_.Pop();  // moved out once; no copy-then-pop
     now_ = ev.when;
     ++events_processed_;
     ev.handle.resume();
@@ -64,9 +69,8 @@ SimTime SimEnvironment::Run() {
 }
 
 SimTime SimEnvironment::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    Event ev = queue_.top();
-    queue_.pop();
+  while (!queue_.Empty() && queue_.NextTime() <= deadline) {
+    const QueuedEvent ev = queue_.Pop();
     now_ = ev.when;
     ++events_processed_;
     ev.handle.resume();
@@ -75,6 +79,18 @@ SimTime SimEnvironment::RunUntil(SimTime deadline) {
     now_ = deadline;
   }
   return now_;
+}
+
+uint64_t SimEnvironment::RunBefore(SimTime bound) {
+  uint64_t processed = 0;
+  while (!queue_.Empty() && queue_.NextTime() < bound) {
+    const QueuedEvent ev = queue_.Pop();
+    now_ = ev.when;
+    ++events_processed_;
+    ++processed;
+    ev.handle.resume();
+  }
+  return processed;
 }
 
 }  // namespace bkup

@@ -1,14 +1,16 @@
 // The discrete-event simulation environment: a virtual clock and an event
-// queue of coroutine resumptions. Single-threaded and fully deterministic:
-// events at equal times run in schedule (FIFO) order.
+// queue of coroutine resumptions. Fully deterministic: events at equal
+// times run in schedule (FIFO) order. A SimEnvironment is single-threaded;
+// parallel simulations run one environment per shard (src/sim/shard.h),
+// each pinned to at most one worker thread at a time, with deterministic
+// cross-shard scheduling (DESIGN.md §17).
 #ifndef BKUP_SIM_ENVIRONMENT_H_
 #define BKUP_SIM_ENVIRONMENT_H_
 
 #include <coroutine>
 #include <cstdint>
-#include <queue>
-#include <vector>
 
+#include "src/sim/event_queue.h"
 #include "src/sim/task.h"
 #include "src/util/units.h"
 
@@ -24,10 +26,29 @@ class SimEnvironment {
   SimEnvironment(const SimEnvironment&) = delete;
   SimEnvironment& operator=(const SimEnvironment&) = delete;
 
-  // The most recently constructed live environment, or nullptr. Logging uses
-  // this to prefix messages with simulated time; nested environments (a
-  // bench creating a fresh one per measurement) behave as a stack.
+  // The most recently activated live environment on the *calling thread*,
+  // or nullptr. Logging uses this to prefix messages with simulated time;
+  // nested environments (a bench creating a fresh one per measurement)
+  // behave as a stack. The lookup is one thread-local pointer read — the
+  // top of the stack is cached so the hot path never walks it.
   static SimEnvironment* Active();
+
+  // Activates this environment on the current thread for the scope's
+  // lifetime (Active(), log clock). Construction already activates on the
+  // constructing thread; shard workers use this to adopt a shard's
+  // environment built elsewhere.
+  class ScopedActivate {
+   public:
+    explicit ScopedActivate(SimEnvironment* env) : env_(env) {
+      PushActive(env_);
+    }
+    ~ScopedActivate() { PopActive(env_); }
+    ScopedActivate(const ScopedActivate&) = delete;
+    ScopedActivate& operator=(const ScopedActivate&) = delete;
+
+   private:
+    SimEnvironment* env_;
+  };
 
   // Optional span tracer (src/obs/trace.h) attached to this environment.
   // Owned by the caller; the TRACE_* macros and instrumented subsystems
@@ -44,7 +65,9 @@ class SimEnvironment {
   SimTime now() const { return now_; }
 
   // Schedules a coroutine resumption at absolute time `when` (>= now).
-  void ScheduleAt(SimTime when, std::coroutine_handle<> handle);
+  void ScheduleAt(SimTime when, std::coroutine_handle<> handle) {
+    queue_.Push(when, next_seq_++, handle, now_);
+  }
   void ScheduleNow(std::coroutine_handle<> handle) { ScheduleAt(now_, handle); }
 
   // Launches a top-level simulated process. The process starts at the
@@ -54,8 +77,21 @@ class SimEnvironment {
   // Runs until the event queue drains. Returns the final simulated time.
   SimTime Run();
 
-  // Runs until the queue drains or the clock passes `deadline`.
+  // Runs until the queue drains or the clock passes `deadline`; the clock
+  // is clamped forward to `deadline` if the queue ran dry early.
   SimTime RunUntil(SimTime deadline);
+
+  // Runs every event with timestamp strictly before `bound` and stops
+  // without clamping the clock — the shard execution window primitive:
+  // a conservative parallel run grants each shard a bound and lets it
+  // drain up to (not including) it. Returns events processed in the call.
+  uint64_t RunBefore(SimTime bound);
+
+  // Timestamp of the next pending event, or kNoPendingEvent when idle.
+  // (Non-const: may stage the next wheel bucket.)
+  SimTime NextEventTime() { return queue_.NextTime(); }
+
+  bool idle() { return queue_.Empty(); }
 
   // Awaitable: suspend the current task for `d` simulated time.
   //   co_await env.Delay(50 * kMillisecond);
@@ -75,25 +111,15 @@ class SimEnvironment {
   uint64_t events_processed() const { return events_processed_; }
 
  private:
-  struct Event {
-    SimTime when;
-    uint64_t seq;  // FIFO tiebreak for simultaneous events
-    std::coroutine_handle<> handle;
-
-    bool operator>(const Event& other) const {
-      if (when != other.when) {
-        return when > other.when;
-      }
-      return seq > other.seq;
-    }
-  };
+  static void PushActive(SimEnvironment* env);
+  static void PopActive(SimEnvironment* env);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   Tracer* tracer_ = nullptr;
   FlightRecorder* flight_recorder_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  EventQueue queue_;
 };
 
 }  // namespace bkup

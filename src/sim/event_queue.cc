@@ -1,0 +1,165 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bkup {
+
+void EventQueue::Push(SimTime when, uint64_t seq,
+                      std::coroutine_handle<> handle, SimTime now) {
+  assert(when >= now && "cannot schedule into the simulated past");
+  ++size_;
+  if (when == now) {
+    // Scheduled by the currently executing event: seq is the largest issued
+    // so far, so append order is pop order.
+    ready_.push_back(QueuedEvent{when, seq, handle});
+    return;
+  }
+  if (when < staged_range_end_) {
+    // Inside (or below) the open bucket's range: keep the staged slab
+    // sorted. Below happens only after a far cursor jump left `now` behind
+    // the staged range (RunUntil clamping), so order stays total.
+    const QueuedEvent ev{when, seq, handle};
+    auto it = std::upper_bound(staged_.begin() + staged_pos_, staged_.end(),
+                               ev, Before);
+    staged_.insert(it, ev);
+    return;
+  }
+  const uint64_t bucket = static_cast<uint64_t>(when) >> kBucketBits;
+  if (bucket >= cursor_ + kNumBuckets) {
+    HeapPush(QueuedEvent{when, seq, handle});
+    return;
+  }
+  std::vector<QueuedEvent>& slab = buckets_[bucket & kBucketMask];
+  slab.push_back(QueuedEvent{when, seq, handle});
+  occupied_[(bucket & kBucketMask) >> 6] |= uint64_t{1} << (bucket & 63);
+  ++wheel_count_;
+}
+
+SimTime EventQueue::NextTime() {
+  Stage();
+  const bool have_ready = ready_pos_ < ready_.size();
+  const bool have_staged = staged_pos_ < staged_.size();
+  if (have_ready && have_staged) {
+    return std::min(ready_[ready_pos_].when, staged_[staged_pos_].when);
+  }
+  if (have_ready) {
+    return ready_[ready_pos_].when;
+  }
+  if (have_staged) {
+    return staged_[staged_pos_].when;
+  }
+  return kNoPendingEvent;
+}
+
+QueuedEvent EventQueue::Pop() {
+  assert(size_ > 0 && "Pop on an empty event queue");
+  Stage();
+  --size_;
+  const bool have_ready = ready_pos_ < ready_.size();
+  const bool have_staged = staged_pos_ < staged_.size();
+  // Ready events carry the current clock value; a staged event at the same
+  // timestamp was scheduled earlier (smaller seq) and must run first.
+  if (have_ready &&
+      (!have_staged || Before(ready_[ready_pos_], staged_[staged_pos_]))) {
+    return ready_[ready_pos_++];
+  }
+  assert(have_staged);
+  return staged_[staged_pos_++];
+}
+
+void EventQueue::Stage() {
+  if (ready_pos_ < ready_.size() || staged_pos_ < staged_.size()) {
+    return;  // a minimum candidate is already at hand
+  }
+  // Both slabs drained: recycle their capacity.
+  ready_.clear();
+  ready_pos_ = 0;
+  staged_.clear();
+  staged_pos_ = 0;
+  if (wheel_count_ == 0) {
+    if (heap_.empty()) {
+      return;  // queue empty
+    }
+    // Jump the cursor to the heap minimum's bucket, then let the refill
+    // below populate the wheel.
+    cursor_ = static_cast<uint64_t>(heap_.front().when) >> kBucketBits;
+  }
+  RefillFromHeap();
+  const uint64_t next = FirstOccupiedBucket();
+  assert(next != kNoBucket && "wheel count positive but no occupied bucket");
+  cursor_ = next;
+  // The horizon grew with the cursor: pull newly covered heap events onto
+  // the wheel *before* any future Push can target the extended range —
+  // otherwise a wheel event could order ahead of a smaller heap event.
+  RefillFromHeap();
+
+  const size_t slot = cursor_ & kBucketMask;
+  std::vector<QueuedEvent>& slab = buckets_[slot];
+  staged_.swap(slab);  // slab recycle: the drained staged vector's capacity
+                       // becomes the bucket's next lap
+  occupied_[slot >> 6] &= ~(uint64_t{1} << (cursor_ & 63));
+  wheel_count_ -= staged_.size();
+  std::sort(staged_.begin(), staged_.end(), Before);
+  staged_range_end_ = static_cast<SimTime>(cursor_ + 1) << kBucketBits;
+}
+
+void EventQueue::RefillFromHeap() {
+  const uint64_t horizon = cursor_ + kNumBuckets;
+  while (!heap_.empty() &&
+         (static_cast<uint64_t>(heap_.front().when) >> kBucketBits) <
+             horizon) {
+    QueuedEvent ev = HeapPop();
+    const uint64_t bucket = static_cast<uint64_t>(ev.when) >> kBucketBits;
+    const size_t slot = bucket & kBucketMask;
+    buckets_[slot].push_back(ev);
+    occupied_[slot >> 6] |= uint64_t{1} << (bucket & 63);
+    ++wheel_count_;
+  }
+}
+
+uint64_t EventQueue::FirstOccupiedBucket() const {
+  if (wheel_count_ == 0) {
+    return kNoBucket;
+  }
+  // Scan the occupancy bitmap circularly from the cursor's slot; the first
+  // set bit is the global wheel minimum because bucket ranges are strictly
+  // increasing along the ring (no lap mixing).
+  const uint64_t start = cursor_ & kBucketMask;
+  for (size_t step = 0; step <= kOccWords; ++step) {
+    const size_t word_idx = ((start >> 6) + step) % kOccWords;
+    uint64_t word = occupied_[word_idx];
+    if (step == 0) {
+      word &= ~uint64_t{0} << (start & 63);  // ignore slots behind the cursor
+    }
+    if (word == 0) {
+      continue;
+    }
+    const uint64_t slot =
+        (word_idx << 6) + static_cast<uint64_t>(__builtin_ctzll(word));
+    // Map the ring slot back to an absolute bucket number at or after the
+    // cursor.
+    return cursor_ + ((slot - cursor_) & kBucketMask);
+  }
+  return kNoBucket;
+}
+
+void EventQueue::HeapPush(QueuedEvent ev) {
+  heap_.push_back(ev);
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const QueuedEvent& a, const QueuedEvent& b) {
+                   return Before(b, a);  // min-heap
+                 });
+}
+
+QueuedEvent EventQueue::HeapPop() {
+  std::pop_heap(heap_.begin(), heap_.end(),
+                [](const QueuedEvent& a, const QueuedEvent& b) {
+                  return Before(b, a);
+                });
+  QueuedEvent ev = heap_.back();
+  heap_.pop_back();
+  return ev;
+}
+
+}  // namespace bkup

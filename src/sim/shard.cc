@@ -1,0 +1,313 @@
+#include "src/sim/shard.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <thread>
+
+namespace bkup {
+
+ShardBinding::ShardBinding(SimShard* shard)
+    : activate_(&shard->env()), metrics_(&shard->metrics()) {}
+
+ShardedSimEnvironment::ShardedSimEnvironment(int num_shards,
+                                             ShardedOptions options) {
+  assert(num_shards > 0);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.emplace_back(new SimShard(i));
+  }
+  lookahead_.assign(
+      static_cast<size_t>(num_shards) * static_cast<size_t>(num_shards),
+      kNoEdge);
+  int threads = options.threads;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = static_cast<int>(hw == 0 ? 1 : hw);
+  }
+  threads_ = std::min(threads, num_shards);
+}
+
+ShardedSimEnvironment::~ShardedSimEnvironment() = default;
+
+void ShardedSimEnvironment::Connect(int src, int dst, SimDuration lookahead) {
+  assert(src != dst && "a shard needs no lookahead to itself");
+  assert(lookahead >= 1 &&
+         "conservative synchronization requires lookahead >= 1 us");
+  SimDuration& slot =
+      lookahead_[static_cast<size_t>(src) * shards_.size() +
+                 static_cast<size_t>(dst)];
+  slot = slot == kNoEdge ? lookahead : std::min(slot, lookahead);
+  has_edges_ = true;
+}
+
+std::optional<SimDuration> ShardedSimEnvironment::Lookahead(int src,
+                                                            int dst) const {
+  const SimDuration l =
+      lookahead_[static_cast<size_t>(src) * shards_.size() +
+                 static_cast<size_t>(dst)];
+  if (l == kNoEdge) {
+    return std::nullopt;
+  }
+  return l;
+}
+
+void ShardedSimEnvironment::PostAt(int src, int dst, SimTime when,
+                                   std::coroutine_handle<> handle) {
+  SimShard& from = shard(src);
+  SimShard& to = shard(dst);
+  const std::optional<SimDuration> l = Lookahead(src, dst);
+  assert(l.has_value() && "PostAt over an undeclared shard edge");
+  assert(when >= from.now() + *l &&
+         "cross-shard event inside the lookahead window");
+  (void)l;
+  const uint64_t seq = from.cross_seq_++;
+  std::lock_guard<std::mutex> lock(to.mailbox_mu_);
+  to.mailbox_.push_back(SimShard::Mail{when, src, seq, handle});
+}
+
+void ShardedSimEnvironment::PostTask(int src, int dst, SimTime when,
+                                     Task task) {
+  auto handle = task.Release();
+  assert(handle && "posting an empty task");
+  handle.promise().started = true;
+  PostAt(src, dst, when, handle);
+}
+
+void ShardedSimEnvironment::DrainMailbox(SimShard* shard) {
+  std::vector<SimShard::Mail> mail;
+  {
+    std::lock_guard<std::mutex> lock(shard->mailbox_mu_);
+    mail.swap(shard->mailbox_);
+  }
+  if (mail.empty()) {
+    return;
+  }
+  // Deterministic merge order: (when, source shard, sender seq). Appends
+  // raced under the mutex, but the sort key is interleaving-independent.
+  std::sort(mail.begin(), mail.end(),
+            [](const SimShard::Mail& a, const SimShard::Mail& b) {
+              if (a.when != b.when) {
+                return a.when < b.when;
+              }
+              if (a.src != b.src) {
+                return a.src < b.src;
+              }
+              return a.seq < b.seq;
+            });
+  for (const SimShard::Mail& m : mail) {
+    shard->env().ScheduleAt(m.when, m.handle);
+  }
+}
+
+namespace {
+
+SimTime SaturatingAdd(SimTime t, SimDuration d) {
+  if (t >= kNoPendingEvent - d) {
+    return kNoPendingEvent;
+  }
+  return t + d;
+}
+
+}  // namespace
+
+void ShardedSimEnvironment::ComputeBounds(std::vector<SimTime>* bounds) {
+  const size_t n = shards_.size();
+  // act[i]: earliest simulated time shard i could still become active
+  // (process or send anything) — its next event, or the earliest inbound
+  // message chain reaching it. Bellman-Ford-style relaxation; n rounds
+  // suffice (longest simple chain).
+  std::vector<SimTime> act(n);
+  for (size_t i = 0; i < n; ++i) {
+    act[i] = shards_[i]->env().NextEventTime();
+  }
+  if (has_edges_) {
+    for (size_t round = 0; round < n; ++round) {
+      bool changed = false;
+      for (size_t u = 0; u < n; ++u) {
+        for (size_t v = 0; v < n; ++v) {
+          const SimDuration l = lookahead_[u * n + v];
+          if (l == kNoEdge) {
+            continue;
+          }
+          const SimTime reach = SaturatingAdd(act[u], l);
+          if (reach < act[v]) {
+            act[v] = reach;
+            changed = true;
+          }
+        }
+      }
+      if (!changed) {
+        break;
+      }
+    }
+  }
+  bounds->assign(n, kNoPendingEvent);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = 0; v < n; ++v) {
+      const SimDuration l = lookahead_[u * n + v];
+      if (l == kNoEdge) {
+        continue;
+      }
+      (*bounds)[v] = std::min((*bounds)[v], SaturatingAdd(act[u], l));
+    }
+  }
+}
+
+// A tiny persistent pool: workers park on a condition variable between
+// rounds; each round they race down a shared index into the runnable-shard
+// list. Which worker executes which shard is irrelevant to the output —
+// shard windows touch only shard-owned state.
+struct ShardedSimEnvironment::WorkerPool {
+  explicit WorkerPool(int workers) {
+    for (int i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& t : threads_) {
+      t.join();
+    }
+  }
+
+  // Runs every (shard, bound) job in `jobs`; the calling thread
+  // participates. Returns when all jobs are done.
+  void RunRound(const std::vector<std::pair<SimShard*, SimTime>>& jobs) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_ = &jobs;
+      next_job_.store(0, std::memory_order_relaxed);
+      pending_ = jobs.size();
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    DrainJobs(jobs);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    jobs_ = nullptr;
+  }
+
+ private:
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    while (true) {
+      const std::vector<std::pair<SimShard*, SimTime>>* jobs = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        start_cv_.wait(lock, [&] {
+          return stop_ || generation_ != seen_generation;
+        });
+        if (stop_) {
+          return;
+        }
+        seen_generation = generation_;
+        // Woke after the round already completed without us (the other
+        // participants drained it); nothing to do.
+        if (jobs_ == nullptr) {
+          continue;
+        }
+        jobs = jobs_;
+      }
+      DrainJobs(*jobs);
+    }
+  }
+
+  void DrainJobs(const std::vector<std::pair<SimShard*, SimTime>>& jobs) {
+    // Snapshot: once pending_ hits zero the coordinator reuses the vector
+    // for the next round, so after the final decrement we must not touch it
+    // (or next_job_) again — hence claim-next-before-report-done below.
+    const size_t size = jobs.size();
+    const std::pair<SimShard*, SimTime>* data = jobs.data();
+    size_t i = next_job_.fetch_add(1, std::memory_order_relaxed);
+    while (i < size) {
+      SimShard* shard = data[i].first;
+      const SimTime bound = data[i].second;
+      {
+        ShardBinding binding = shard->Bind();
+        if (bound == kNoPendingEvent) {
+          shard->env().Run();
+        } else {
+          shard->env().RunBefore(bound);
+        }
+      }
+      const size_t next = next_job_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) {
+          done_cv_.notify_all();
+        }
+      }
+      i = next;
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::vector<std::pair<SimShard*, SimTime>>* jobs_ = nullptr;
+  std::atomic<size_t> next_job_{0};
+  size_t pending_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+SimTime ShardedSimEnvironment::Run() {
+  const size_t n = shards_.size();
+  // threads_ includes the coordinating thread, which participates in every
+  // round; the pool holds the extras.
+  WorkerPool pool(std::max(0, threads_ - 1));
+  std::vector<SimTime> bounds;
+  std::vector<std::pair<SimShard*, SimTime>> jobs;
+  while (true) {
+    for (auto& shard : shards_) {
+      DrainMailbox(shard.get());
+    }
+    ComputeBounds(&bounds);
+    jobs.clear();
+    for (size_t i = 0; i < n; ++i) {
+      const SimTime next = shards_[i]->env().NextEventTime();
+      if (next == kNoPendingEvent) {
+        continue;
+      }
+      if (next < bounds[i]) {
+        jobs.emplace_back(shards_[i].get(), bounds[i]);
+      }
+    }
+    if (jobs.empty()) {
+      // Every pending event (if any) sits at or above its shard's bound;
+      // with lookahead >= 1 that only happens when nothing is pending.
+      bool any_pending = false;
+      for (auto& shard : shards_) {
+        any_pending |= shard->env().NextEventTime() != kNoPendingEvent;
+      }
+      assert(!any_pending && "conservative deadlock: zero-progress round");
+      (void)any_pending;
+      break;
+    }
+    ++rounds_;
+    pool.RunRound(jobs);
+  }
+  SimTime end = 0;
+  for (auto& shard : shards_) {
+    end = std::max(end, shard->now());
+  }
+  return end;
+}
+
+uint64_t ShardedSimEnvironment::total_events_processed() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->env().events_processed();
+  }
+  return total;
+}
+
+}  // namespace bkup

@@ -1,0 +1,174 @@
+// Parallel deterministic simulation: shard the DES by node/filer and run
+// the shards on worker threads under conservative synchronization, while
+// keeping every byte of output identical to a single-thread run.
+//
+// Model (DESIGN.md §17):
+//
+//   - A SimShard owns one SimEnvironment (clock + event queue) and one
+//     MetricsRegistry. Everything simulated on a shard — volumes, filers,
+//     drives, links, jobs — is built against that environment and records
+//     into that registry, so shard execution touches no shared mutable
+//     state.
+//   - Shards interact only through ShardedSimEnvironment::PostAt: a
+//     cross-shard schedule that must arrive at least `lookahead(src, dst)`
+//     after the sender's clock. Lookahead edges are declared with
+//     Connect(); for simulated networks the natural lookahead is the
+//     link's propagation delay (NetLink::BindShards).
+//   - The coordinator runs barrier-synchronized rounds. At a barrier it
+//     drains every mailbox (sorted by (when, source shard, seq) — the
+//     deterministic merge order), computes each shard's conservative
+//     bound, and dispatches runnable shards to the worker pool. A shard
+//     granted bound B processes exactly the events with timestamp < B.
+//
+// Conservative bound: let E(t) be shard t's next event timestamp and relax
+//   act(t) = min(E(t), min over edges (u -> t) of act(u) + lookahead(u, t))
+// to a fixpoint; then bound(s) = min over edges (t -> s) of
+// act(t) + lookahead(t, s). Any message t can still send to s arrives at
+// or after act(t) + lookahead(t, s) >= bound(s), so events below the bound
+// can never be preempted — execution order is independent of the worker
+// count, which is the determinism proof in one sentence. Lookahead >= 1 us
+// on every edge guarantees progress (the globally minimal event is always
+// below its shard's bound).
+#ifndef BKUP_SIM_SHARD_H_
+#define BKUP_SIM_SHARD_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/sim/environment.h"
+#include "src/sim/task.h"
+#include "src/util/units.h"
+
+namespace bkup {
+
+class ShardedSimEnvironment;
+
+// Activates a shard's environment and metrics registry on the current
+// thread for the scope's lifetime. Scenario builders hold one while
+// constructing a shard's components (so cached metric handles resolve into
+// the shard's private registry); shard workers hold one while executing a
+// round (so Active(), the log clock and lazy metric lookups all land on
+// the shard).
+class ShardBinding {
+ public:
+  explicit ShardBinding(class SimShard* shard);
+
+ private:
+  SimEnvironment::ScopedActivate activate_;
+  ScopedMetricsRegistry metrics_;
+};
+
+class SimShard {
+ public:
+  SimShard(const SimShard&) = delete;
+  SimShard& operator=(const SimShard&) = delete;
+
+  int id() const { return id_; }
+  SimEnvironment& env() { return env_; }
+  const SimEnvironment& env() const { return env_; }
+  SimTime now() const { return env_.now(); }
+
+  // The shard-private metric sink. Thread-safe by partition: only the
+  // worker running this shard (or the builder holding a ShardBinding)
+  // touches it.
+  MetricsRegistry& metrics() { return metrics_; }
+
+  // Binds this shard to the current thread; see ShardBinding.
+  ShardBinding Bind() { return ShardBinding(this); }
+
+  // Convenience: spawn a task onto this shard at build time.
+  void Spawn(Task task) { env_.Spawn(std::move(task)); }
+
+ private:
+  friend class ShardedSimEnvironment;
+  explicit SimShard(int id) : id_(id) {}
+
+  struct Mail {
+    SimTime when;
+    int src;
+    uint64_t seq;  // sender-local cross-shard sequence number
+    std::coroutine_handle<> handle;
+  };
+
+  int id_;
+  SimEnvironment env_;
+  MetricsRegistry metrics_;
+  // Cross-shard deliveries parked until the next barrier. Appended under
+  // the mutex by any worker; drained (sorted) by the coordinator.
+  std::mutex mailbox_mu_;
+  std::vector<Mail> mailbox_;
+  // Sender-side sequence counter for deterministic mailbox ordering; only
+  // the worker executing this shard increments it.
+  uint64_t cross_seq_ = 0;
+};
+
+struct ShardedOptions {
+  // Worker threads executing shard windows. 0 = min(hardware concurrency,
+  // shard count); 1 = run every window inline on the coordinating thread.
+  // The choice affects wall-clock time only — never simulation output.
+  int threads = 0;
+};
+
+class ShardedSimEnvironment {
+ public:
+  explicit ShardedSimEnvironment(int num_shards, ShardedOptions options = {});
+  ~ShardedSimEnvironment();
+  ShardedSimEnvironment(const ShardedSimEnvironment&) = delete;
+  ShardedSimEnvironment& operator=(const ShardedSimEnvironment&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  SimShard& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+
+  // Declares that `src` may post events to `dst` arriving no earlier than
+  // the sender's clock plus `lookahead` (>= 1 us; smaller of repeated
+  // declarations wins). Without a declared edge PostAt(src, dst, ...)
+  // is a contract violation.
+  void Connect(int src, int dst, SimDuration lookahead);
+
+  // Minimum inbound lookahead of `dst` over declared edges, or nullopt.
+  std::optional<SimDuration> Lookahead(int src, int dst) const;
+
+  // Cross-shard schedule: resumes `handle` on shard `dst` at `when`, which
+  // must be >= shard(src).now() + lookahead(src, dst). Callable from the
+  // worker executing shard `src` (or from the coordinator between runs).
+  // Deliveries are merged deterministically at the next barrier, ordered
+  // by (when, source shard, sender sequence) and after any events shard
+  // `dst` had already scheduled for the same timestamp.
+  void PostAt(int src, int dst, SimTime when, std::coroutine_handle<> handle);
+
+  // As PostAt, for a not-yet-started Task. The task must only touch state
+  // owned by shard `dst`.
+  void PostTask(int src, int dst, SimTime when, Task task);
+
+  // Runs every shard until all queues and mailboxes drain. Returns the
+  // maximum shard clock. Output is byte-identical for any `threads`.
+  SimTime Run();
+
+  uint64_t total_events_processed() const;
+  uint64_t rounds() const { return rounds_; }
+
+ private:
+  struct WorkerPool;
+
+  // Drains `shard`'s mailbox into its event queue in deterministic order.
+  void DrainMailbox(SimShard* shard);
+  // Computes per-shard conservative bounds from next-event times.
+  void ComputeBounds(std::vector<SimTime>* bounds);
+
+  std::vector<std::unique_ptr<SimShard>> shards_;
+  // lookahead_[src * n + dst]; kNoEdge when undeclared.
+  static constexpr SimDuration kNoEdge = -1;
+  std::vector<SimDuration> lookahead_;
+  bool has_edges_ = false;
+  int threads_;
+  uint64_t rounds_ = 0;
+};
+
+}  // namespace bkup
+
+#endif  // BKUP_SIM_SHARD_H_

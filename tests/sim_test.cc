@@ -3,12 +3,17 @@
 // bottleneck behaviour).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <optional>
+#include <queue>
+#include <random>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/sim/channel.h"
 #include "src/sim/environment.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/resource.h"
 #include "src/sim/task.h"
 #include "src/util/units.h"
@@ -108,6 +113,147 @@ TEST(SimTest, RunUntilStopsAtDeadline) {
   EXPECT_EQ(env.now(), 50);
   env.Run();
   EXPECT_EQ(woke, 100);
+}
+
+TEST(SimTest, RunUntilClampsIdleClockForward) {
+  SimEnvironment env;
+  EXPECT_EQ(env.RunUntil(250), 250);  // empty queue: clock still advances
+  EXPECT_EQ(env.now(), 250);
+  // A deadline in the past never moves the clock backwards.
+  EXPECT_EQ(env.RunUntil(100), 250);
+  // Events may now be scheduled relative to the clamped clock — including
+  // far enough ahead that the first Delay crosses the wheel horizon.
+  SimTime woke = -1;
+  env.Spawn(Sleeper(&env, 200 * kMillisecond, &woke));
+  env.Run();
+  EXPECT_EQ(woke, 250 + 200 * kMillisecond);
+}
+
+TEST(SimTest, RunUntilRunsEventExactlyAtDeadline) {
+  SimEnvironment env;
+  SimTime woke = -1;
+  env.Spawn(Sleeper(&env, 100, &woke));
+  env.RunUntil(100);  // deadline inclusive
+  EXPECT_EQ(woke, 100);
+  EXPECT_EQ(env.now(), 100);
+}
+
+TEST(SimTest, RunBeforeIsStrictAndDoesNotClamp) {
+  SimEnvironment env;
+  SimTime woke = -1;
+  env.Spawn(Sleeper(&env, 100, &woke));
+  EXPECT_EQ(env.RunBefore(100), 1u);  // the t=0 spawn event runs...
+  EXPECT_EQ(woke, -1);                // ...but not the t=100 wake-up
+  EXPECT_EQ(env.now(), 0);            // and the clock is NOT clamped to 99
+  EXPECT_EQ(env.NextEventTime(), 100);
+  EXPECT_EQ(env.RunBefore(101), 1u);
+  EXPECT_EQ(woke, 100);
+  EXPECT_TRUE(env.idle());
+  EXPECT_EQ(env.NextEventTime(), kNoPendingEvent);
+}
+
+// ------------------------------------------------------------ EventQueue ---
+//
+// The calendar-queue hybrid must present exactly the ordering contract the
+// old std::priority_queue gave: pops come out sorted by (when, seq), FIFO
+// at equal timestamps. These tests drive the queue directly (handles are
+// never resumed, so null coroutine handles are fine).
+
+TEST(EventQueueTest, FifoPreservedAtEqualTimestampsAcrossWheelAndHeap) {
+  // One shared timestamp that starts beyond the wheel horizon (so early
+  // pushes land in the overflow heap) and later — after the cursor advances
+  // — inside it (so late pushes land in a wheel bucket). FIFO across that
+  // migration is the subtle case: heap order and bucket-sort order must
+  // agree on seq.
+  SimEnvironment env;
+  std::vector<int> order;
+  const SimDuration far = 400 * kMillisecond;  // > 1024 * 64us horizon
+  for (int i = 0; i < 8; ++i) {
+    env.Spawn(Appender(&env, far, i, &order));
+  }
+  // A mid-flight waker that schedules more events for the *same* absolute
+  // time from much closer in (within the wheel horizon by then).
+  auto late_waves = [](SimEnvironment* e, SimDuration target,
+                       std::vector<int>* out) -> Task {
+    co_await e->Delay(target - 30 * kMillisecond);
+    for (int i = 8; i < 16; ++i) {
+      e->Spawn(Appender(e, target - e->now(), i, out));
+    }
+  };
+  env.Spawn(late_waves(&env, far, &order));
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                     12, 13, 14, 15}));
+}
+
+TEST(EventQueueTest, RandomizedEquivalenceWithReferenceHeap) {
+  // 64 seeded adversarial workloads: the hybrid queue must pop the exact
+  // sequence a (when, seq)-ordered binary heap pops. Delay mix is chosen to
+  // exercise every internal path: ready ring (0), staged bucket (tiny),
+  // wheel (up to ~65ms) and overflow heap (up to 2s), plus pushes below an
+  // already-staged range.
+  struct Ref {
+    SimTime when;
+    uint64_t seq;
+    bool operator>(const Ref& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  const int seed_offset =
+      std::getenv("BKUP_SIM_SEED_OFFSET") != nullptr
+          ? std::atoi(std::getenv("BKUP_SIM_SEED_OFFSET")) * 64
+          : 0;
+  for (int seed = seed_offset; seed < seed_offset + 64; ++seed) {
+    std::mt19937 rng(static_cast<uint32_t>(1234 + seed));
+    EventQueue q;
+    std::priority_queue<Ref, std::vector<Ref>, std::greater<Ref>> ref;
+    SimTime now = 0;
+    uint64_t seq = 0;
+    auto push_some = [&](int n) {
+      for (int i = 0; i < n; ++i) {
+        SimDuration d = 0;
+        switch (rng() % 5) {
+          case 0:
+            d = 0;
+            break;
+          case 1:
+            d = static_cast<SimDuration>(rng() % 64);  // same bucket
+            break;
+          case 2:
+            d = static_cast<SimDuration>(rng() % (65 * kMillisecond));
+            break;
+          case 3:
+            d = static_cast<SimDuration>(rng() % (2 * kSecond));
+            break;
+          case 4:  // duplicate an existing pending timestamp if any
+            d = ref.empty() ? 17 : ref.top().when - now;
+            break;
+        }
+        q.Push(now + d, seq, std::coroutine_handle<>{}, now);
+        ref.push(Ref{now + d, seq});
+        ++seq;
+      }
+    };
+    push_some(200);
+    int step = 0;
+    while (!ref.empty()) {
+      ASSERT_FALSE(q.Empty());
+      ASSERT_EQ(q.NextTime(), ref.top().when) << "seed " << seed;
+      const QueuedEvent got = q.Pop();
+      ASSERT_EQ(got.when, ref.top().when) << "seed " << seed;
+      ASSERT_EQ(got.seq, ref.top().seq) << "seed " << seed;
+      ASSERT_GE(got.when, now) << "seed " << seed;
+      now = got.when;
+      ref.pop();
+      // Interleave pushes so the queue refills mid-drain (cursor mid-wheel,
+      // staged slab partially consumed).
+      if (++step % 3 == 0 && step < 600) {
+        push_some(static_cast<int>(rng() % 4));
+      }
+    }
+    EXPECT_TRUE(q.Empty()) << "seed " << seed;
+    EXPECT_EQ(q.size(), 0u) << "seed " << seed;
+  }
 }
 
 // -------------------------------------------------------------- Resource ---

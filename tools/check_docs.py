@@ -15,7 +15,10 @@ Keeps the prose honest against the tree:
   5. every relative link in README.md resolves to a file or directory
      that exists in the tree;
   6. every tests/*_test.cc is registered in tests/CMakeLists.txt (a test
-     file that never builds is silently dead coverage).
+     file that never builds is silently dead coverage);
+  7. every library under src/ with more than one source file has a
+     DESIGN.md anchor (a "src/<lib>" mention) — a subsystem big enough
+     to span files is big enough to owe the design doc a paragraph.
 
 Usage: check_docs.py [repo_root]   (defaults to the parent of tools/)
 """
@@ -90,6 +93,26 @@ def check_design_refs(root, errors):
                             "not exist (sections: %s)"
                             % (os.path.relpath(path, root), lineno, num,
                                sorted(sections)))
+
+
+def check_design_anchors(root, errors):
+    """Multi-file src/ libraries must be anchored somewhere in DESIGN.md."""
+    with open(os.path.join(root, "DESIGN.md"), encoding="utf-8") as f:
+        design = f.read()
+    src = os.path.join(root, "src")
+    for lib in sorted(os.listdir(src)):
+        lib_dir = os.path.join(src, lib)
+        if not os.path.isdir(lib_dir):
+            continue
+        sources = [n for n in os.listdir(lib_dir)
+                   if n.endswith((".h", ".cc", ".cpp"))]
+        if len(sources) <= 1:
+            continue
+        if "src/%s" % lib not in design:
+            errors.append(
+                "DESIGN.md never mentions src/%s (%d source files) — "
+                "multi-file subsystems need a design anchor"
+                % (lib, len(sources)))
 
 
 def check_changes(root, errors):
@@ -179,6 +202,7 @@ def main(argv):
     errors = []
     check_architecture(root, errors)
     check_design_refs(root, errors)
+    check_design_anchors(root, errors)
     check_changes(root, errors)
     check_baseline_experiments(root, errors)
     check_readme_links(root, errors)
