@@ -4,9 +4,24 @@
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 namespace bkup {
+
+namespace {
+
+// Cross-shard contract violations (undeclared edges, posts inside the
+// lookahead window, zero-progress rounds) invalidate the byte-identical
+// determinism guarantee this module promises, so they fail fast in release
+// builds too instead of silently producing thread-count-dependent output.
+[[noreturn]] void ContractViolation(const char* msg) {
+  std::fprintf(stderr, "FATAL bkup::ShardedSimEnvironment: %s\n", msg);
+  std::abort();
+}
+
+}  // namespace
 
 ShardBinding::ShardBinding(SimShard* shard)
     : activate_(&shard->env()), metrics_(&shard->metrics()) {}
@@ -32,9 +47,13 @@ ShardedSimEnvironment::ShardedSimEnvironment(int num_shards,
 ShardedSimEnvironment::~ShardedSimEnvironment() = default;
 
 void ShardedSimEnvironment::Connect(int src, int dst, SimDuration lookahead) {
-  assert(src != dst && "a shard needs no lookahead to itself");
-  assert(lookahead >= 1 &&
-         "conservative synchronization requires lookahead >= 1 us");
+  if (src == dst) {
+    ContractViolation("Connect: a shard needs no lookahead to itself");
+  }
+  if (lookahead < 1) {
+    ContractViolation(
+        "Connect: conservative synchronization requires lookahead >= 1 us");
+  }
   SimDuration& slot =
       lookahead_[static_cast<size_t>(src) * shards_.size() +
                  static_cast<size_t>(dst)];
@@ -58,10 +77,12 @@ void ShardedSimEnvironment::PostAt(int src, int dst, SimTime when,
   SimShard& from = shard(src);
   SimShard& to = shard(dst);
   const std::optional<SimDuration> l = Lookahead(src, dst);
-  assert(l.has_value() && "PostAt over an undeclared shard edge");
-  assert(when >= from.now() + *l &&
-         "cross-shard event inside the lookahead window");
-  (void)l;
+  if (!l.has_value()) {
+    ContractViolation("PostAt over an undeclared shard edge");
+  }
+  if (when < from.now() + *l) {
+    ContractViolation("PostAt: cross-shard event inside the lookahead window");
+  }
   const uint64_t seq = from.cross_seq_++;
   std::lock_guard<std::mutex> lock(to.mailbox_mu_);
   to.mailbox_.push_back(SimShard::Mail{when, src, seq, handle});
@@ -178,7 +199,11 @@ struct ShardedSimEnvironment::WorkerPool {
   }
 
   // Runs every (shard, bound) job in `jobs`; the calling thread
-  // participates. Returns when all jobs are done.
+  // participates. Returns only when all jobs are done AND every worker
+  // that entered the round has left it (active_ == 0). Workers register
+  // in active_ under mu_ before ever touching the jobs vector or
+  // next_job_, so once this returns no stale worker can observe the
+  // vector being reused or the counter being reset for the next round.
   void RunRound(const std::vector<std::pair<SimShard*, SimTime>>& jobs) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -190,7 +215,9 @@ struct ShardedSimEnvironment::WorkerPool {
     start_cv_.notify_all();
     DrainJobs(jobs);
     std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    done_cv_.wait(lock, [this] { return pending_ == 0 && active_ == 0; });
+    // jobs_ is cleared under the same critical section the wait ended in,
+    // so no worker can slip into the finished round in between.
     jobs_ = nullptr;
   }
 
@@ -214,19 +241,25 @@ struct ShardedSimEnvironment::WorkerPool {
           continue;
         }
         jobs = jobs_;
+        // Registered: RunRound now blocks until we leave the round.
+        ++active_;
       }
       DrainJobs(*jobs);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --active_;
+        if (active_ == 0 && pending_ == 0) {
+          done_cv_.notify_all();
+        }
+      }
     }
   }
 
   void DrainJobs(const std::vector<std::pair<SimShard*, SimTime>>& jobs) {
-    // Snapshot: once pending_ hits zero the coordinator reuses the vector
-    // for the next round, so after the final decrement we must not touch it
-    // (or next_job_) again — hence claim-next-before-report-done below.
     const size_t size = jobs.size();
     const std::pair<SimShard*, SimTime>* data = jobs.data();
-    size_t i = next_job_.fetch_add(1, std::memory_order_relaxed);
-    while (i < size) {
+    for (size_t i = next_job_.fetch_add(1, std::memory_order_relaxed);
+         i < size; i = next_job_.fetch_add(1, std::memory_order_relaxed)) {
       SimShard* shard = data[i].first;
       const SimTime bound = data[i].second;
       {
@@ -237,14 +270,10 @@ struct ShardedSimEnvironment::WorkerPool {
           shard->env().RunBefore(bound);
         }
       }
-      const size_t next = next_job_.fetch_add(1, std::memory_order_relaxed);
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--pending_ == 0) {
-          done_cv_.notify_all();
-        }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) {
+        done_cv_.notify_all();
       }
-      i = next;
     }
   }
 
@@ -255,6 +284,10 @@ struct ShardedSimEnvironment::WorkerPool {
   const std::vector<std::pair<SimShard*, SimTime>>* jobs_ = nullptr;
   std::atomic<size_t> next_job_{0};
   size_t pending_ = 0;
+  // Workers currently inside the round (between registering on wake-up and
+  // finishing DrainJobs). The coordinator is not counted: it only waits
+  // after its own DrainJobs call returned.
+  size_t active_ = 0;
   uint64_t generation_ = 0;
   bool stop_ = false;
 };
@@ -288,8 +321,10 @@ SimTime ShardedSimEnvironment::Run() {
       for (auto& shard : shards_) {
         any_pending |= shard->env().NextEventTime() != kNoPendingEvent;
       }
-      assert(!any_pending && "conservative deadlock: zero-progress round");
-      (void)any_pending;
+      if (any_pending) {
+        ContractViolation(
+            "conservative deadlock: zero-progress round with pending events");
+      }
       break;
     }
     ++rounds_;
